@@ -1,0 +1,92 @@
+#include "bench_common.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace cmdsmc::bench {
+
+namespace {
+double env_double(const char* name, double fallback) {
+  if (const char* v = std::getenv(name)) {
+    const double d = std::atof(v);
+    if (d > 0.0) return d;
+  }
+  return fallback;
+}
+int env_int(const char* name, int fallback) {
+  if (const char* v = std::getenv(name)) {
+    const int d = std::atoi(v);
+    if (d > 0) return d;
+  }
+  return fallback;
+}
+}  // namespace
+
+RunScale scale_from_env(RunScale d) {
+  if (const char* v = std::getenv("CMDSMC_PAPER_SCALE");
+      v != nullptr && std::atoi(v) == 1) {
+    d.particles_per_cell = 73.0;
+    d.steady_steps = 1200;
+    d.avg_steps = 2000;
+  }
+  d.particles_per_cell = env_double("CMDSMC_PPC", d.particles_per_cell);
+  d.steady_steps = env_int("CMDSMC_STEADY_STEPS", d.steady_steps);
+  d.avg_steps = env_int("CMDSMC_AVG_STEPS", d.avg_steps);
+  return d;
+}
+
+core::SimConfig paper_wedge_config(const RunScale& scale, double lambda_inf) {
+  core::SimConfig cfg;
+  cfg.nx = 98;
+  cfg.ny = 64;
+  cfg.mach = 4.0;
+  // sigma chosen so the rarefied case satisfies the paper's dt <= t_c/3..4
+  // validity constraint (P_inf ~ 0.29, post-shock P < 1: no clipping).
+  cfg.sigma = 0.09;
+  cfg.lambda_inf = lambda_inf;
+  cfg.particles_per_cell = scale.particles_per_cell;
+  cfg.has_wedge = true;
+  cfg.wedge_x0 = 20.0;
+  cfg.wedge_base = 25.0;
+  cfg.wedge_angle_deg = 30.0;
+  return cfg;
+}
+
+core::FieldStats run_and_average(core::SimulationD& sim, const RunScale& s) {
+  sim.run(s.steady_steps);
+  sim.set_sampling(true);
+  sim.run(s.avg_steps);
+  return sim.field();
+}
+
+core::FieldStats run_and_average_fixed(core::SimulationF& sim,
+                                       const RunScale& s) {
+  sim.run(s.steady_steps);
+  sim.set_sampling(true);
+  sim.run(s.avg_steps);
+  return sim.field();
+}
+
+void print_header(const std::string& title) {
+  std::printf("\n=== %s ===\n", title.c_str());
+  std::printf("%-38s %12s %12s   %s\n", "quantity", "paper", "measured",
+              "note");
+}
+
+void print_row(const std::string& quantity, double paper, double measured,
+               const std::string& note) {
+  std::printf("%-38s %12.4g %12.4g   %s\n", quantity.c_str(), paper, measured,
+              note.c_str());
+}
+
+void print_text_row(const std::string& quantity, const std::string& paper,
+                    const std::string& measured, const std::string& note) {
+  std::printf("%-38s %12s %12s   %s\n", quantity.c_str(), paper.c_str(),
+              measured.c_str(), note.c_str());
+}
+
+void print_kv(const std::string& key, double value) {
+  std::printf("%-38s %12.6g\n", key.c_str(), value);
+}
+
+}  // namespace cmdsmc::bench

@@ -1,0 +1,42 @@
+// Shared plumbing for the table/figure benches: scaled-down defaults with
+// environment overrides, the paper's wedge wind-tunnel configuration, and
+// consistent "paper vs measured" reporting.
+#pragma once
+
+#include <string>
+
+#include "core/config.h"
+#include "core/sampling.h"
+#include "core/simulation.h"
+
+namespace cmdsmc::bench {
+
+struct RunScale {
+  double particles_per_cell = 16.0;  // paper: ~73 (460k flow / 6272 cells)
+  int steady_steps = 600;            // paper: 1200
+  int avg_steps = 600;               // paper: 2000
+};
+
+// Reads CMDSMC_PPC / CMDSMC_STEADY_STEPS / CMDSMC_AVG_STEPS (and approves
+// CMDSMC_PAPER_SCALE=1 as a shorthand for the full paper parameters).
+RunScale scale_from_env(RunScale defaults = {});
+
+// The paper's wind tunnel: 98x64 grid, 30 degree wedge 20 cells from the
+// upstream boundary, 25 cells of base, Mach 4 diatomic Maxwell molecules.
+core::SimConfig paper_wedge_config(const RunScale& scale, double lambda_inf);
+
+// Runs the transient then accumulates `avg_steps` of time averaging.
+core::FieldStats run_and_average(core::SimulationD& sim, const RunScale& s);
+core::FieldStats run_and_average_fixed(core::SimulationF& sim,
+                                       const RunScale& s);
+
+// --- Reporting helpers ---
+void print_header(const std::string& title);
+void print_row(const std::string& quantity, double paper, double measured,
+               const std::string& note = "");
+void print_text_row(const std::string& quantity, const std::string& paper,
+                    const std::string& measured,
+                    const std::string& note = "");
+void print_kv(const std::string& key, double value);
+
+}  // namespace cmdsmc::bench

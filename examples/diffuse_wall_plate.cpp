@@ -1,0 +1,63 @@
+// Wall-model extension (paper "Future Work": "the boundary conditions
+// should include no slip adiabatic and isothermal walls"): the same wedge
+// flow with (a) the paper's inviscid specular surface, (b) a diffuse
+// isothermal (cold) wall, (c) a diffuse adiabatic wall.  Prints the
+// near-surface slip velocity and temperature, showing the boundary-layer
+// behaviour the specular model cannot produce.
+#include <cstdio>
+
+#include "core/simulation.h"
+#include "io/shock_analysis.h"
+
+namespace {
+
+using namespace cmdsmc;
+
+void run_wall(geom::WallModel wall, double wall_sigma, const char* name) {
+  core::SimConfig cfg;
+  cfg.nx = 98;
+  cfg.ny = 64;
+  cfg.mach = 4.0;
+  cfg.sigma = 0.12;
+  cfg.lambda_inf = 0.5;
+  cfg.particles_per_cell = 12.0;
+  cfg.wedge_x0 = 20.0;
+  cfg.wedge_base = 25.0;
+  cfg.wedge_angle_deg = 30.0;
+  cfg.wall = wall;
+  cfg.wall_sigma = wall_sigma;
+  core::SimulationD sim(cfg);
+  sim.run(500);
+  sim.set_sampling(true);
+  sim.run(500);
+  const auto f = sim.field();
+
+  // Tangential speed and temperature in the first cell above mid-wedge.
+  const int ix = 37;
+  const int iy = static_cast<int>(sim.wedge()->surface_y(ix + 0.5)) + 1;
+  const double ux = f.at(f.ux, ix, iy);
+  const double uy = f.at(f.uy, ix, iy);
+  const double speed = std::sqrt(ux * ux + uy * uy);
+  const double t_surf = f.at(f.t_total, ix, iy);
+  const auto fit = io::measure_oblique_shock(f, *sim.wedge());
+  std::printf("%-22s %14.3f %14.2f %12.2f %12.2f\n", name, speed, t_surf,
+              fit.angle_deg, fit.density_ratio);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("wall-model extension: rarefied Mach 4 wedge "
+              "(freestream speed = 0.57 cells/step, T_inf = 1)\n\n");
+  std::printf("%-22s %14s %14s %12s %12s\n", "wall model", "surface speed",
+              "surface T/Tinf", "shock angle", "rho ratio");
+  run_wall(cmdsmc::geom::WallModel::kSpecular, 0.12, "specular (paper)");
+  run_wall(cmdsmc::geom::WallModel::kDiffuseIsothermal, 0.12,
+           "diffuse isothermal");
+  run_wall(cmdsmc::geom::WallModel::kDiffuseAdiabatic, 0.12,
+           "diffuse adiabatic");
+  std::printf("\n(diffuse walls enforce no slip: the surface speed drops and "
+              "the isothermal wall cools the shock layer; the specular wall "
+              "preserves the full tangential velocity)\n");
+  return 0;
+}

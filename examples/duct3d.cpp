@@ -1,0 +1,63 @@
+// 3D extension (paper "Future Work": "The code should also be extended to
+// 3D"): hypersonic flow through a duct with a compression ramp extruded
+// along z.  Prints mid-plane density/temperature maps and checks that the
+// solution is z-uniform (the 3D machinery at work with a 2.5D-verifiable
+// answer).
+#include <cstdio>
+
+#include "core/simulation.h"
+#include "io/contour.h"
+#include "io/csv.h"
+
+int main(int argc, char** argv) {
+  using namespace cmdsmc;
+  core::SimConfig cfg;
+  cfg.nx = 64;
+  cfg.ny = 32;
+  cfg.nz = 16;
+  cfg.mach = 4.0;
+  cfg.sigma = 0.12;
+  cfg.lambda_inf = 0.5;
+  cfg.particles_per_cell = argc > 1 ? std::atof(argv[1]) : 8.0;
+  cfg.reservoir_fraction = 0.2;
+  cfg.has_wedge = true;
+  cfg.wedge_x0 = 16.0;
+  cfg.wedge_base = 16.0;
+  cfg.wedge_angle_deg = 25.0;
+
+  std::printf("3D duct: %dx%dx%d cells, Mach %.1f over a %g-degree ramp, "
+              "lambda = %g\n",
+              cfg.nx, cfg.ny, cfg.nz, cfg.mach, cfg.wedge_angle_deg,
+              cfg.lambda_inf);
+  core::SimulationD sim(cfg);
+  std::printf("particles: %zu flow + %zu reservoir\n", sim.flow_count(),
+              sim.reservoir_count());
+  sim.run(400);
+  sim.set_sampling(true);
+  sim.run(400);
+  const auto f = sim.field();
+
+  io::ContourOptions opt;
+  opt.vmax = 4.0;
+  opt.z_plane = cfg.nz / 2;
+  std::printf("\nmid-plane density (z = %d):\n%s\n", cfg.nz / 2,
+              io::render_ascii(f, f.density, opt).c_str());
+  io::write_field_csv_file("duct3d_density_midplane.csv", f, f.density,
+                           "rho", cfg.nz / 2);
+
+  // z-uniformity check: the ramp is extruded, so all planes must agree.
+  double mid = 0.0, edge = 0.0;
+  int n = 0;
+  for (int ix = 18; ix < 30; ++ix)
+    for (int iy = 8; iy < 20; ++iy) {
+      mid += f.at(f.density, ix, iy, cfg.nz / 2);
+      edge += f.at(f.density, ix, iy, 1);
+      ++n;
+    }
+  std::printf("ramp-region density: mid-plane %.3f vs near-wall plane %.3f "
+              "(z-uniform to %.1f%%)\n",
+              mid / n, edge / n, 100.0 * std::abs(mid / edge - 1.0));
+  std::printf("collisions so far: %llu\n",
+              static_cast<unsigned long long>(sim.counters().collisions));
+  return 0;
+}

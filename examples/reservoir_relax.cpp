@@ -1,0 +1,84 @@
+// Demonstrates the paper's reservoir idea: particles removed from the flow
+// are given *rectangular* velocity distributions (cheap: two random numbers
+// per component, no transcendentals) and relax to the correct Maxwellian by
+// colliding amongst themselves on otherwise-idle processors.
+//
+// This example builds a pure reservoir (a closed box of rectangular gas)
+// and prints the convergence of the distribution moments to Gaussian
+// values step by step.
+#include <cstdio>
+
+#include "core/simulation.h"
+#include "rng/samplers.h"
+
+namespace {
+
+struct Moments {
+  double variance_ratio;  // <u^2>/sigma^2  (target 1)
+  double kurtosis;        // <u^4>/<u^2>^2  (uniform 1.8 -> Gaussian 3.0)
+  double rot_trans;       // T_rot/T_trans  (target 1)
+};
+
+Moments measure(const cmdsmc::core::ParticleStore<double>& s, double sigma) {
+  double m2 = 0, m4 = 0, et = 0, er = 0;
+  const auto n = static_cast<double>(s.size());
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    m2 += s.ux[i] * s.ux[i];
+    m4 += s.ux[i] * s.ux[i] * s.ux[i] * s.ux[i];
+    et += s.ux[i] * s.ux[i] + s.uy[i] * s.uy[i] + s.uz[i] * s.uz[i];
+    er += s.r0[i] * s.r0[i] + s.r1[i] * s.r1[i];
+  }
+  m2 /= n;
+  m4 /= n;
+  return {m2 / (sigma * sigma), m4 / (m2 * m2), (er / 2.0) / (et / 3.0)};
+}
+
+}  // namespace
+
+int main() {
+  using namespace cmdsmc;
+  core::SimConfig cfg;
+  cfg.nx = 16;
+  cfg.ny = 16;
+  cfg.closed_box = true;
+  cfg.has_wedge = false;
+  cfg.mach = 0.01;
+  cfg.sigma = 0.2;
+  cfg.lambda_inf = 0.0;
+  cfg.particles_per_cell = 64.0;
+  cfg.reservoir_fraction = 0.0;
+  core::SimulationD sim(cfg);
+
+  // Replace the initial Maxwellian with the reservoir's rectangular
+  // distribution (same variance), exactly what removed particles receive.
+  rng::SplitMix64 g(1);
+  auto& s = sim.particles();
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    s.ux[i] = rng::sample_rectangular(g, cfg.sigma);
+    s.uy[i] = rng::sample_rectangular(g, cfg.sigma);
+    s.uz[i] = rng::sample_rectangular(g, cfg.sigma);
+    s.r0[i] = rng::sample_rectangular(g, cfg.sigma);
+    s.r1[i] = rng::sample_rectangular(g, cfg.sigma);
+  }
+
+  std::printf("reservoir relaxation: %zu particles, rectangular start\n\n",
+              sim.total_count());
+  std::printf("%6s %16s %12s %16s\n", "step", "variance ratio", "kurtosis",
+              "T_rot/T_trans");
+  const double e0 = sim.total_energy();
+  for (int k = 0; k <= 10; ++k) {
+    const auto m = measure(sim.particles(), cfg.sigma);
+    std::printf("%6d %16.3f %12.3f %16.3f\n", k * 2, m.variance_ratio,
+                m.kurtosis, m.rot_trans);
+    sim.run(2);
+  }
+  std::printf("\ntargets: variance 1.000, kurtosis 3.000 (uniform starts at "
+              "1.800), equipartition 1.000\n");
+  std::printf("energy drift over the whole run: %.2e (collisions conserve "
+              "exactly)\n",
+              sim.total_energy() / e0 - 1.0);
+  std::printf("\nthe paper: \"after a few time steps collisions with other "
+              "reservoir particles relaxes these to the correct Gaussian "
+              "distributions\"\n");
+  return 0;
+}

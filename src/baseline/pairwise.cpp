@@ -1,0 +1,92 @@
+#include "baseline/pairwise.h"
+
+#include <atomic>
+
+#include "cmdp/parallel.h"
+#include "cmdp/scan.h"
+#include "cmdp/sort.h"
+#include "physics/collision.h"
+#include "rng/permutation.h"
+#include "rng/rng.h"
+
+namespace cmdsmc::baseline {
+
+namespace {
+constexpr std::uint32_t kSortScale = 8;
+}
+
+PairwiseScheme::PairwiseScheme(const geom::Grid& grid,
+                               const BaselineConfig& cfg)
+    : grid_(grid), cfg_(cfg) {}
+
+void PairwiseScheme::collision_step(cmdp::ThreadPool& pool,
+                                    core::ParticleStore<double>& store) {
+  const std::size_t n = store.size();
+  const auto ncells = static_cast<std::uint32_t>(grid_.ncells());
+  keys_.resize(n);
+  order_.resize(n);
+  counts_.resize(ncells);
+  starts_.resize(ncells);
+  cmdp::parallel_for(pool, n, [&](std::size_t i) {
+    const std::uint32_t r = static_cast<std::uint32_t>(
+        rng::hash4(cfg_.seed, i, static_cast<std::uint64_t>(step_), 101) %
+        kSortScale);
+    keys_[i] = store.cell[i] * kSortScale + r;
+  });
+  cmdp::stable_sort_index(pool, keys_, ncells * kSortScale, order_);
+  store.reorder(pool, order_, scratch_);
+  cmdp::histogram(pool, store.cell, ncells, counts_);
+  cmdp::exclusive_scan<std::uint32_t>(
+      pool, counts_, starts_,
+      [](std::uint32_t a, std::uint32_t b) { return a + b; }, 0u);
+
+  std::atomic<std::uint64_t> coll{0};
+  cmdp::parallel_chunks(pool, n, [&](cmdp::Range r, unsigned) {
+    std::uint64_t local = 0;
+    for (std::size_t i = r.begin; i < r.end; ++i) {
+      const std::uint32_t c = store.cell[i];
+      const std::uint32_t s = starts_[c];
+      const std::uint32_t rank = static_cast<std::uint32_t>(i) - s;
+      if (rank & 1u) continue;
+      if (i + 1 >= s + counts_[c]) continue;
+      const double p =
+          cfg_.pc_inf * static_cast<double>(counts_[c]) / cfg_.n_inf;
+      const std::uint64_t bits =
+          rng::hash4(cfg_.seed, i, static_cast<std::uint64_t>(step_), 102);
+      if (p < 1.0 && rng::u64_to_unit_double(rng::mix64(bits)) >= p) continue;
+      physics::Pair5<double> pv;
+      pv.a[0] = store.ux[i];
+      pv.a[1] = store.uy[i];
+      pv.a[2] = store.uz[i];
+      pv.a[3] = store.r0[i];
+      pv.a[4] = store.r1[i];
+      pv.b[0] = store.ux[i + 1];
+      pv.b[1] = store.uy[i + 1];
+      pv.b[2] = store.uz[i + 1];
+      pv.b[3] = store.r0[i + 1];
+      pv.b[4] = store.r1[i + 1];
+      physics::collide_pair(pv, store.perm[i], bits);
+      store.ux[i] = pv.a[0];
+      store.uy[i] = pv.a[1];
+      store.uz[i] = pv.a[2];
+      store.r0[i] = pv.a[3];
+      store.r1[i] = pv.a[4];
+      store.ux[i + 1] = pv.b[0];
+      store.uy[i + 1] = pv.b[1];
+      store.uz[i + 1] = pv.b[2];
+      store.r0[i + 1] = pv.b[3];
+      store.r1[i + 1] = pv.b[4];
+      store.perm[i] =
+          rng::random_transposition(store.perm[i],
+                                    bits >> physics::kTransposeShift);
+      store.perm[i + 1] = rng::random_transposition(
+          store.perm[i + 1], bits >> (physics::kTransposeShift + 16));
+      ++local;
+    }
+    coll.fetch_add(local, std::memory_order_relaxed);
+  });
+  collisions_ += coll.load();
+  ++step_;
+}
+
+}  // namespace cmdsmc::baseline

@@ -1,0 +1,45 @@
+// Stream compaction — the scan-based "pack" primitive of the CM repertoire
+// (Hillis & Steele): keep the flagged elements, preserving order.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "cmdp/parallel.h"
+#include "cmdp/scan.h"
+#include "cmdp/thread_pool.h"
+
+namespace cmdsmc::cmdp {
+
+// Writes the indices i with keep[i] != 0, in ascending order, to `out`
+// (resized to the number kept).  Returns the count.
+inline std::size_t compact_indices(ThreadPool& pool,
+                                   std::span<const std::uint8_t> keep,
+                                   std::vector<std::uint32_t>& out) {
+  const std::size_t n = keep.size();
+  std::vector<std::uint32_t> offsets(n);
+  std::vector<std::uint32_t> ones(n);
+  parallel_for(pool, n, [&](std::size_t i) { ones[i] = keep[i] ? 1u : 0u; });
+  const std::uint32_t total = exclusive_scan<std::uint32_t>(
+      pool, ones, offsets,
+      [](std::uint32_t a, std::uint32_t b) { return a + b; }, 0u);
+  out.resize(total);
+  parallel_for(pool, n, [&](std::size_t i) {
+    if (keep[i]) out[offsets[i]] = static_cast<std::uint32_t>(i);
+  });
+  return total;
+}
+
+// Packs the kept elements of `in` into `out` (resized), preserving order.
+template <class T>
+std::size_t compact(ThreadPool& pool, std::span<const T> in,
+                    std::span<const std::uint8_t> keep, std::vector<T>& out) {
+  std::vector<std::uint32_t> idx;
+  const std::size_t total = compact_indices(pool, keep, idx);
+  out.resize(total);
+  parallel_for(pool, total, [&](std::size_t k) { out[k] = in[idx[k]]; });
+  return total;
+}
+
+}  // namespace cmdsmc::cmdp

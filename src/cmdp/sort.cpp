@@ -1,0 +1,121 @@
+#include "cmdp/sort.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "cmdp/scan.h"
+
+namespace cmdsmc::cmdp {
+
+void histogram(ThreadPool& pool, std::span<const std::uint32_t> keys,
+               std::uint32_t key_bound, std::span<std::uint32_t> counts) {
+  assert(counts.size() >= key_bound);
+  std::fill(counts.begin(), counts.begin() + key_bound, 0u);
+  const std::size_t n = keys.size();
+  if (pool.size() == 1 || n < kSerialCutoff) {
+    for (std::size_t i = 0; i < n; ++i) ++counts[keys[i]];
+    return;
+  }
+  const unsigned lanes = pool.size();
+  std::vector<std::uint32_t> local(static_cast<std::size_t>(lanes) * key_bound,
+                                   0u);
+  pool.parallel([&](unsigned tid) {
+    std::uint32_t* h = local.data() + static_cast<std::size_t>(tid) * key_bound;
+    const Range r = lane_range(n, tid, lanes);
+    for (std::size_t i = r.begin; i < r.end; ++i) ++h[keys[i]];
+  });
+  parallel_for(pool, key_bound, [&](std::size_t k) {
+    std::uint32_t total = 0;
+    for (unsigned t = 0; t < lanes; ++t)
+      total += local[static_cast<std::size_t>(t) * key_bound + k];
+    counts[k] = total;
+  });
+}
+
+void counting_sort_index(ThreadPool& pool, std::span<const std::uint32_t> keys,
+                         std::uint32_t key_bound,
+                         std::span<std::uint32_t> order) {
+  const std::size_t n = keys.size();
+  assert(order.size() == n);
+  if (pool.size() == 1 || n < kSerialCutoff) {
+    std::vector<std::uint32_t> offsets(key_bound + 1, 0u);
+    for (std::size_t i = 0; i < n; ++i) ++offsets[keys[i] + 1];
+    for (std::uint32_t k = 0; k < key_bound; ++k) offsets[k + 1] += offsets[k];
+    for (std::size_t i = 0; i < n; ++i)
+      order[offsets[keys[i]]++] = static_cast<std::uint32_t>(i);
+    return;
+  }
+  const unsigned lanes = pool.size();
+  // Per-lane histograms.
+  std::vector<std::uint32_t> local(static_cast<std::size_t>(lanes) * key_bound,
+                                   0u);
+  pool.parallel([&](unsigned tid) {
+    std::uint32_t* h = local.data() + static_cast<std::size_t>(tid) * key_bound;
+    const Range r = lane_range(n, tid, lanes);
+    for (std::size_t i = r.begin; i < r.end; ++i) ++h[keys[i]];
+  });
+  // Column-wise conversion to starting offsets: offset(tid, k) =
+  // sum_{k'<k} total(k') + sum_{t<tid} local(t, k).  Computed in two steps:
+  // per-key totals + prefix within the key column, then an exclusive scan of
+  // totals folded back in.
+  std::vector<std::uint32_t> totals(key_bound);
+  parallel_for(pool, key_bound, [&](std::size_t k) {
+    std::uint32_t running = 0;
+    for (unsigned t = 0; t < lanes; ++t) {
+      std::uint32_t& cell = local[static_cast<std::size_t>(t) * key_bound + k];
+      const std::uint32_t c = cell;
+      cell = running;
+      running += c;
+    }
+    totals[k] = running;
+  });
+  std::vector<std::uint32_t> base(key_bound);
+  exclusive_scan<std::uint32_t>(
+      pool, std::span<const std::uint32_t>(totals),
+      std::span<std::uint32_t>(base),
+      [](std::uint32_t a, std::uint32_t b) { return a + b; }, 0u);
+  // Scatter: stable because lanes cover ascending index ranges and each lane
+  // writes ascending offsets within a key.
+  pool.parallel([&](unsigned tid) {
+    std::uint32_t* h = local.data() + static_cast<std::size_t>(tid) * key_bound;
+    const Range r = lane_range(n, tid, lanes);
+    for (std::size_t i = r.begin; i < r.end; ++i) {
+      const std::uint32_t k = keys[i];
+      order[base[k] + h[k]++] = static_cast<std::uint32_t>(i);
+    }
+  });
+}
+
+void stable_sort_index(ThreadPool& pool, std::span<const std::uint32_t> keys,
+                       std::uint32_t key_bound,
+                       std::span<std::uint32_t> order) {
+  constexpr std::uint32_t kDirectBound = 1u << 21;
+  const std::size_t n = keys.size();
+  if (key_bound <= kDirectBound) {
+    counting_sort_index(pool, keys, key_bound, order);
+    return;
+  }
+  // Two-pass LSD radix over 16-bit digits.
+  std::vector<std::uint32_t> low(n), order1(n), high_sorted(n), order2(n);
+  parallel_for(pool, n, [&](std::size_t i) { low[i] = keys[i] & 0xffffu; });
+  counting_sort_index(pool, std::span<const std::uint32_t>(low), 1u << 16,
+                      std::span<std::uint32_t>(order1));
+  parallel_for(pool, n,
+               [&](std::size_t i) { high_sorted[i] = keys[order1[i]] >> 16; });
+  const std::uint32_t high_bound =
+      std::min<std::uint64_t>(1u << 16, ((std::uint64_t)key_bound >> 16) + 1);
+  counting_sort_index(pool, std::span<const std::uint32_t>(high_sorted),
+                      high_bound, std::span<std::uint32_t>(order2));
+  parallel_for(pool, n, [&](std::size_t i) { order[i] = order1[order2[i]]; });
+}
+
+bool is_permutation_of_iota(std::span<const std::uint32_t> order) {
+  std::vector<std::uint8_t> seen(order.size(), 0);
+  for (std::uint32_t v : order) {
+    if (v >= order.size() || seen[v]) return false;
+    seen[v] = 1;
+  }
+  return true;
+}
+
+}  // namespace cmdsmc::cmdp

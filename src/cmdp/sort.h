@@ -1,0 +1,53 @@
+// Stable key sorts producing a gather permutation, plus histogram and gather
+// helpers.  This is the substrate for the paper's per-step "sort particles by
+// (randomized) cell index" — the CM-2 rank-sort.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "cmdp/parallel.h"
+#include "cmdp/thread_pool.h"
+
+namespace cmdsmc::cmdp {
+
+// counts[k] = number of occurrences of key k; keys must be < key_bound.
+void histogram(ThreadPool& pool, std::span<const std::uint32_t> keys,
+               std::uint32_t key_bound, std::span<std::uint32_t> counts);
+
+// Stable counting sort.  Fills `order` (size == keys.size()) such that
+// keys[order[0]] <= keys[order[1]] <= ... with equal keys in input order.
+// Suitable for key_bound up to a few million (allocates lanes * key_bound
+// counters).
+void counting_sort_index(ThreadPool& pool, std::span<const std::uint32_t> keys,
+                         std::uint32_t key_bound,
+                         std::span<std::uint32_t> order);
+
+// Stable sort for arbitrary 32-bit keys: radix over 16-bit digits built on
+// counting_sort_index.  Chooses single-pass counting sort when key_bound is
+// small enough.
+void stable_sort_index(ThreadPool& pool, std::span<const std::uint32_t> keys,
+                       std::uint32_t key_bound, std::span<std::uint32_t> order);
+
+// out[i] = in[order[i]] — the gather that applies a sort permutation.
+template <class T>
+void gather(ThreadPool& pool, std::span<const T> in,
+            std::span<const std::uint32_t> order, std::span<T> out) {
+  parallel_for(pool, order.size(),
+               [&](std::size_t i) { out[i] = in[order[i]]; });
+}
+
+// out[order[i]] = in[i] — the inverse scatter.
+template <class T>
+void scatter(ThreadPool& pool, std::span<const T> in,
+             std::span<const std::uint32_t> order, std::span<T> out) {
+  parallel_for(pool, order.size(),
+               [&](std::size_t i) { out[order[i]] = in[i]; });
+}
+
+// Verifies `order` is a permutation of [0, n) — used by tests and debug mode.
+bool is_permutation_of_iota(std::span<const std::uint32_t> order);
+
+}  // namespace cmdsmc::cmdp

@@ -1,0 +1,55 @@
+// cmdp: the data-parallel substrate standing in for the Connection Machine.
+//
+// The paper's algorithm is expressed purely in terms of data-parallel
+// primitives (elementwise maps over "virtual processors", reductions, scans,
+// rank-sorts).  On the CM-2 these were provided by Paris / C*; here they are
+// provided over a persistent fork-join thread pool on a multicore CPU.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace cmdsmc::cmdp {
+
+// Persistent fork-join pool.  The calling thread participates as lane 0, so a
+// pool of size N owns N-1 worker threads.  `parallel(fn)` runs `fn(tid)` on
+// every lane and blocks until all lanes finish.  The pool is not reentrant:
+// `fn` must not itself call `parallel` on the same pool.
+class ThreadPool {
+ public:
+  // n == 0 selects std::thread::hardware_concurrency().
+  explicit ThreadPool(unsigned n = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  unsigned size() const { return nthreads_; }
+
+  // Runs fn(tid) for tid in [0, size()); blocks until every lane returns.
+  void parallel(const std::function<void(unsigned)>& fn);
+
+  // Process-wide pool.  Size taken from env CMDSMC_THREADS if set, else
+  // hardware concurrency.  Created on first use.
+  static ThreadPool& global();
+
+ private:
+  void worker_loop(unsigned tid);
+
+  unsigned nthreads_;
+  std::vector<std::thread> workers_;
+
+  std::mutex m_;
+  std::condition_variable cv_start_;
+  std::condition_variable cv_done_;
+  const std::function<void(unsigned)>* job_ = nullptr;
+  std::uint64_t generation_ = 0;
+  unsigned pending_ = 0;
+  bool stop_ = false;
+};
+
+}  // namespace cmdsmc::cmdp

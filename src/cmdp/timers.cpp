@@ -1,0 +1,36 @@
+#include "cmdp/timers.h"
+
+#include <algorithm>
+
+namespace cmdsmc::cmdp {
+
+std::size_t PhaseTimers::phase_id(const std::string& name) {
+  auto it = std::find(names_.begin(), names_.end(), name);
+  if (it != names_.end())
+    return static_cast<std::size_t>(it - names_.begin());
+  names_.push_back(name);
+  seconds_.push_back(0.0);
+  start_.emplace_back();
+  return names_.size() - 1;
+}
+
+double PhaseTimers::total_seconds() const {
+  double total = 0.0;
+  for (double s : seconds_) total += s;
+  return total;
+}
+
+std::vector<double> PhaseTimers::percentages() const {
+  std::vector<double> out(seconds_.size(), 0.0);
+  const double total = total_seconds();
+  if (total <= 0.0) return out;
+  for (std::size_t i = 0; i < seconds_.size(); ++i)
+    out[i] = 100.0 * seconds_[i] / total;
+  return out;
+}
+
+void PhaseTimers::reset() {
+  std::fill(seconds_.begin(), seconds_.end(), 0.0);
+}
+
+}  // namespace cmdsmc::cmdp

@@ -1,0 +1,117 @@
+#include "core/checkpoint.h"
+
+#include <cstdint>
+#include <fstream>
+#include <stdexcept>
+
+namespace cmdsmc::core {
+
+namespace {
+
+constexpr std::uint64_t kMagic = 0x434d44534d433031ull;  // "CMDSMC01"
+
+template <class Real>
+constexpr std::uint32_t scalar_tag() {
+  if constexpr (std::is_same_v<Real, double>)
+    return 1;
+  else
+    return 2;  // Fixed32
+}
+
+template <class T>
+void write_vec(std::ofstream& os, const std::vector<T>& v) {
+  const std::uint64_t n = v.size();
+  os.write(reinterpret_cast<const char*>(&n), sizeof(n));
+  os.write(reinterpret_cast<const char*>(v.data()),
+           static_cast<std::streamsize>(n * sizeof(T)));
+}
+
+template <class T>
+void read_vec(std::ifstream& is, std::vector<T>& v) {
+  std::uint64_t n = 0;
+  is.read(reinterpret_cast<char*>(&n), sizeof(n));
+  if (!is) throw std::runtime_error("checkpoint: truncated header");
+  v.resize(n);
+  is.read(reinterpret_cast<char*>(v.data()),
+          static_cast<std::streamsize>(n * sizeof(T)));
+  if (!is) throw std::runtime_error("checkpoint: truncated array");
+}
+
+}  // namespace
+
+template <class Real>
+void save_checkpoint(const std::string& path, const ParticleStore<Real>& s) {
+  std::ofstream os(path, std::ios::binary);
+  if (!os) throw std::runtime_error("checkpoint: cannot open " + path);
+  const std::uint32_t tag = scalar_tag<Real>();
+  const std::uint8_t has_z = s.has_z ? 1 : 0;
+  const std::uint8_t has_vib = s.has_vib ? 1 : 0;
+  os.write(reinterpret_cast<const char*>(&kMagic), sizeof(kMagic));
+  os.write(reinterpret_cast<const char*>(&tag), sizeof(tag));
+  os.write(reinterpret_cast<const char*>(&has_z), sizeof(has_z));
+  os.write(reinterpret_cast<const char*>(&has_vib), sizeof(has_vib));
+  write_vec(os, s.x);
+  write_vec(os, s.y);
+  if (s.has_z) write_vec(os, s.z);
+  write_vec(os, s.ux);
+  write_vec(os, s.uy);
+  write_vec(os, s.uz);
+  write_vec(os, s.r0);
+  write_vec(os, s.r1);
+  if (s.has_vib) {
+    write_vec(os, s.v0);
+    write_vec(os, s.v1);
+  }
+  write_vec(os, s.perm);
+  write_vec(os, s.cell);
+  write_vec(os, s.flags);
+  write_vec(os, s.id);
+  if (!os) throw std::runtime_error("checkpoint: write failed " + path);
+}
+
+template <class Real>
+void load_checkpoint(const std::string& path, ParticleStore<Real>& s) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) throw std::runtime_error("checkpoint: cannot open " + path);
+  std::uint64_t magic = 0;
+  std::uint32_t tag = 0;
+  std::uint8_t has_z = 0;
+  std::uint8_t has_vib = 0;
+  is.read(reinterpret_cast<char*>(&magic), sizeof(magic));
+  is.read(reinterpret_cast<char*>(&tag), sizeof(tag));
+  is.read(reinterpret_cast<char*>(&has_z), sizeof(has_z));
+  is.read(reinterpret_cast<char*>(&has_vib), sizeof(has_vib));
+  if (!is || magic != kMagic)
+    throw std::runtime_error("checkpoint: bad magic in " + path);
+  if (tag != scalar_tag<Real>())
+    throw std::runtime_error("checkpoint: scalar type mismatch in " + path);
+  s.has_z = has_z != 0;
+  s.has_vib = has_vib != 0;
+  read_vec(is, s.x);
+  read_vec(is, s.y);
+  if (s.has_z) read_vec(is, s.z);
+  read_vec(is, s.ux);
+  read_vec(is, s.uy);
+  read_vec(is, s.uz);
+  read_vec(is, s.r0);
+  read_vec(is, s.r1);
+  if (s.has_vib) {
+    read_vec(is, s.v0);
+    read_vec(is, s.v1);
+  }
+  read_vec(is, s.perm);
+  read_vec(is, s.cell);
+  read_vec(is, s.flags);
+  read_vec(is, s.id);
+}
+
+template void save_checkpoint<double>(const std::string&,
+                                      const ParticleStore<double>&);
+template void load_checkpoint<double>(const std::string&,
+                                      ParticleStore<double>&);
+template void save_checkpoint<fixedpoint::Fixed32>(
+    const std::string&, const ParticleStore<fixedpoint::Fixed32>&);
+template void load_checkpoint<fixedpoint::Fixed32>(
+    const std::string&, ParticleStore<fixedpoint::Fixed32>&);
+
+}  // namespace cmdsmc::core

@@ -1,0 +1,135 @@
+// Simulation configuration: the paper's wind-tunnel set-up plus every
+// algorithmic knob the ablation benches exercise.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <numbers>
+#include <stdexcept>
+
+#include "geom/boundary.h"
+#include "physics/gas_model.h"
+#include "physics/theory.h"
+
+namespace cmdsmc::core {
+
+// Rounding of the fixed-point halvings in the collision kernel.
+enum class Rounding {
+  kStochastic,  // paper's fix: add 0/1 with equal probability before >> 1
+  kTruncate,    // the naive variant that loses energy in stagnation regions
+};
+
+// Source of the low-impact random bits (sort mixing, transpositions, signs,
+// rounding).
+enum class RngMode {
+  kCounter,  // counter-based hash (reference quality)
+  kDirty,    // low-order bits of the particle's fixed-point state (paper)
+};
+
+struct SimConfig {
+  // --- Domain (cells; cell width 1). nz > 0 selects the 3D extension. ---
+  int nx = 98;
+  int ny = 64;
+  int nz = 0;
+
+  // --- Freestream ---
+  double mach = 4.0;
+  double sigma = 0.18;  // thermal std dev per component, cells per step
+  // Freestream mean free path in cell widths; 0 = near continuum (paper
+  // figs. 1-3), 0.5 = the rarefied case (figs. 4-6).
+  double lambda_inf = 0.0;
+  double particles_per_cell = 16.0;  // freestream number density
+  double reservoir_fraction = 0.10;  // extra particles parked in the reservoir
+
+  // --- Body ---
+  bool has_wedge = true;
+  double wedge_x0 = 20.0;
+  double wedge_base = 25.0;
+  double wedge_angle_deg = 30.0;
+
+  // --- Gas model ---
+  physics::GasModel gas{};
+  // Vibrational extension (paper "Future Work": "the molecular model should
+  // be generalised to allow ... relaxation into vibrational energy").  Two
+  // vibrational DOF per molecule; each accepted collision exchanges with
+  // them instead of rotation with probability `vib_exchange_prob`
+  // (relaxation number Z_v = 1/prob).  Equilibrium: 7 DOF, gamma = 9/7.
+  bool vibrational = false;
+  double vib_exchange_prob = 0.2;
+  // Initial vibrational temperature as a fraction of T_inf (0 = frozen
+  // cold start, 1 = fully excited equilibrium).
+  double vib_init_temperature = 1.0;
+
+  // --- Boundary handling ---
+  // Closed box: all six boundaries specular, no sink/source/plunger.  Used
+  // for conservation and relaxation studies.
+  bool closed_box = false;
+  geom::UpstreamMode upstream = geom::UpstreamMode::kPlunger;
+  double plunger_trigger = 3.0;
+  geom::WallModel wall = geom::WallModel::kSpecular;
+  double wall_sigma = 0.18;  // diffuse-wall temperature (std dev)
+
+  // --- Algorithm knobs (ablations) ---
+  int sort_scale = 8;          // cell key scale factor for sort randomization
+  bool randomize_sort = true;  // add rand < scale to the key before sorting
+  int transpositions_per_collision = 1;
+  Rounding rounding = Rounding::kStochastic;
+  RngMode rng_mode = RngMode::kCounter;
+  bool reservoir_collisions = true;
+
+  std::uint64_t seed = 0x5eed5eedULL;
+
+  // --- Derived quantities ---
+  double freestream_speed() const {
+    return mach * std::sqrt(physics::theory::kGammaDiatomic) * sigma;
+  }
+  double wedge_angle_rad() const {
+    return wedge_angle_deg * std::numbers::pi / 180.0;
+  }
+  bool is3d() const { return nz > 0; }
+
+  void validate() const {
+    if (nx <= 0 || ny <= 0 || nz < 0)
+      throw std::invalid_argument("SimConfig: bad grid dimensions");
+    if (mach <= 0.0) throw std::invalid_argument("SimConfig: mach must be > 0");
+    if (sigma <= 0.0)
+      throw std::invalid_argument("SimConfig: sigma must be > 0");
+    if (lambda_inf < 0.0)
+      throw std::invalid_argument("SimConfig: lambda_inf must be >= 0");
+    if (particles_per_cell <= 0.0)
+      throw std::invalid_argument("SimConfig: particles_per_cell must be > 0");
+    if (reservoir_fraction < 0.0)
+      throw std::invalid_argument("SimConfig: reservoir_fraction must be >= 0");
+    if (has_wedge) {
+      if (wedge_x0 < 0.0 || wedge_x0 + wedge_base >= nx)
+        throw std::invalid_argument("SimConfig: wedge outside the domain");
+      if (wedge_angle_deg <= 0.0 || wedge_angle_deg >= 90.0)
+        throw std::invalid_argument("SimConfig: wedge angle must be in (0,90)");
+      const double h = wedge_base * std::tan(wedge_angle_rad());
+      if (h >= ny)
+        throw std::invalid_argument("SimConfig: wedge taller than the tunnel");
+    }
+    if (sort_scale < 1 || sort_scale > 256)
+      throw std::invalid_argument("SimConfig: sort_scale must be in [1,256]");
+    if (transpositions_per_collision < 0 || transpositions_per_collision > 4)
+      throw std::invalid_argument(
+          "SimConfig: transpositions_per_collision must be in [0, 4]");
+    if (plunger_trigger <= 0.0)
+      throw std::invalid_argument("SimConfig: plunger_trigger must be > 0");
+    if (vibrational &&
+        (vib_exchange_prob < 0.0 || vib_exchange_prob > 1.0))
+      throw std::invalid_argument(
+          "SimConfig: vib_exchange_prob must be in [0, 1]");
+    if (vibrational && vib_init_temperature < 0.0)
+      throw std::invalid_argument(
+          "SimConfig: vib_init_temperature must be >= 0");
+    gas.validate();
+    // CFL-like sanity: the stream should not cross more than ~2 cells/step
+    // or cell-based collision selection breaks down.
+    if (freestream_speed() > 2.0)
+      throw std::invalid_argument(
+          "SimConfig: freestream speed exceeds 2 cells/step; lower sigma");
+  }
+};
+
+}  // namespace cmdsmc::core

@@ -1,0 +1,137 @@
+// Structure-of-arrays particle storage.
+//
+// Physical state (paper): position, translational velocity (3 components),
+// rotational velocity (2 components).  Computational state adds the cell
+// index and the packed 5-element permutation vector.  One array element ==
+// one "virtual processor" of the CM-2 mapping.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "cmdp/parallel.h"
+#include "cmdp/sort.h"
+#include "cmdp/thread_pool.h"
+#include "rng/permutation.h"
+
+namespace cmdsmc::core {
+
+template <class Real>
+struct ParticleStore {
+  // Physical state.
+  std::vector<Real> x, y, z;  // z used only in 3D runs (kept empty in 2D)
+  std::vector<Real> ux, uy, uz;
+  std::vector<Real> r0, r1;
+  // Vibrational "velocities" (2 DOF harmonic oscillator), allocated only
+  // when the vibrational extension is enabled.
+  std::vector<Real> v0, v1;
+  // Computational state.
+  std::vector<rng::PackedPerm> perm;
+  std::vector<std::uint32_t> cell;
+  // Bit 0: particle is parked in the reservoir (not part of the flow).
+  std::vector<std::uint8_t> flags;
+  // Persistent particle identity (survives sorting) for tracking and
+  // pair-correlation diagnostics.
+  std::vector<std::uint32_t> id;
+
+  bool has_z = false;
+  bool has_vib = false;
+
+  static constexpr std::uint8_t kReservoirFlag = 1u;
+
+  std::size_t size() const { return x.size(); }
+
+  void resize(std::size_t n) {
+    x.resize(n);
+    y.resize(n);
+    if (has_z) z.resize(n);
+    ux.resize(n);
+    uy.resize(n);
+    uz.resize(n);
+    r0.resize(n);
+    r1.resize(n);
+    if (has_vib) {
+      v0.resize(n);
+      v1.resize(n);
+    }
+    perm.resize(n);
+    cell.resize(n);
+    flags.resize(n);
+    id.resize(n);
+  }
+
+  void reserve(std::size_t n) {
+    x.reserve(n);
+    y.reserve(n);
+    if (has_z) z.reserve(n);
+    ux.reserve(n);
+    uy.reserve(n);
+    uz.reserve(n);
+    r0.reserve(n);
+    r1.reserve(n);
+    perm.reserve(n);
+    cell.reserve(n);
+    flags.reserve(n);
+    id.reserve(n);
+  }
+
+  void clear() { resize(0); }
+
+  void push_back(Real px, Real py, Real pz, Real vx, Real vy, Real vz,
+                 Real rot0, Real rot1, rng::PackedPerm p,
+                 std::uint8_t flag = 0) {
+    x.push_back(px);
+    y.push_back(py);
+    if (has_z) z.push_back(pz);
+    ux.push_back(vx);
+    uy.push_back(vy);
+    uz.push_back(vz);
+    r0.push_back(rot0);
+    r1.push_back(rot1);
+    if (has_vib) {
+      v0.push_back(Real{});
+      v1.push_back(Real{});
+    }
+    perm.push_back(p);
+    cell.push_back(0);
+    flags.push_back(flag);
+    id.push_back(static_cast<std::uint32_t>(id.size()));
+  }
+
+  // Applies a sort permutation: this[i] <- this[order[i]] for every array.
+  // `scratch` provides reusable buffers; contents are swapped in.
+  void reorder(cmdp::ThreadPool& pool, std::span<const std::uint32_t> order,
+               ParticleStore& scratch) {
+    scratch.has_z = has_z;
+    scratch.has_vib = has_vib;
+    scratch.resize(size());
+    auto apply = [&](std::vector<Real>& a, std::vector<Real>& s) {
+      cmdp::gather<Real>(pool, a, order, s);
+      a.swap(s);
+    };
+    apply(x, scratch.x);
+    apply(y, scratch.y);
+    if (has_z) apply(z, scratch.z);
+    apply(ux, scratch.ux);
+    apply(uy, scratch.uy);
+    apply(uz, scratch.uz);
+    apply(r0, scratch.r0);
+    apply(r1, scratch.r1);
+    if (has_vib) {
+      apply(v0, scratch.v0);
+      apply(v1, scratch.v1);
+    }
+    cmdp::gather<rng::PackedPerm>(pool, perm, order, scratch.perm);
+    perm.swap(scratch.perm);
+    cmdp::gather<std::uint32_t>(pool, cell, order, scratch.cell);
+    cell.swap(scratch.cell);
+    cmdp::gather<std::uint8_t>(pool, flags, order, scratch.flags);
+    flags.swap(scratch.flags);
+    cmdp::gather<std::uint32_t>(pool, id, order, scratch.id);
+    id.swap(scratch.id);
+  }
+};
+
+}  // namespace cmdsmc::core

@@ -1,0 +1,51 @@
+// Small helpers shared by the simulation driver for reservoir particle
+// management.
+//
+// The paper parks particles that are not currently needed in the flow in a
+// *reservoir* and lets them collide amongst themselves: removed particles are
+// given velocities from a rectangular distribution with the freestream
+// variance, and a few collision steps relax them to the correct Maxwellian —
+// cheaper than sampling Gaussians for every injected particle, and it keeps
+// otherwise idle processors busy.
+//
+// In this implementation reservoir particles live in the *same* particle
+// arrays as flow particles (exactly as they would on the CM): they carry
+// pairing-cell indices in a band beyond the real grid cells, so the ordinary
+// sort/pair/collide machinery relaxes them with no special-case code.
+#pragma once
+
+#include <cstdint>
+
+#include "rng/rng.h"
+#include "rng/samplers.h"
+
+namespace cmdsmc::core {
+
+// Velocity 5-tuple [ux, uy, uz, r0, r1] in double precision.
+struct Velocity5 {
+  double v[5] = {0, 0, 0, 0, 0};
+};
+
+// Rectangular (uniform, variance-matched) freestream sample: the state given
+// to particles entering the reservoir.
+inline Velocity5 rectangular_freestream(double sigma, double drift_ux,
+                                        std::uint64_t bits) {
+  rng::SplitMix64 g(bits);
+  Velocity5 out;
+  out.v[0] = drift_ux + rng::sample_rectangular(g, sigma);
+  for (int c = 1; c < 5; ++c) out.v[c] = rng::sample_rectangular(g, sigma);
+  return out;
+}
+
+// Gaussian freestream sample: the fallback used only when the reservoir runs
+// dry (the paper's design avoids this cost in the common case).
+inline Velocity5 gaussian_freestream(double sigma, double drift_ux,
+                                     std::uint64_t bits) {
+  rng::SplitMix64 g(bits);
+  Velocity5 out;
+  out.v[0] = drift_ux + sigma * rng::sample_gaussian(g);
+  for (int c = 1; c < 5; ++c) out.v[c] = sigma * rng::sample_gaussian(g);
+  return out;
+}
+
+}  // namespace cmdsmc::core

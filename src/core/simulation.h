@@ -1,0 +1,160 @@
+// The time-step driver: the paper's four sub-steps
+//   1) collisionless motion of particles
+//   2) enforcement of boundary conditions
+//   3) selection of collision partners
+//   4) collision of selected partners
+// implemented in the particles-to-processors mapping: per-step randomized
+// sort by cell index, even/odd candidate pairing within cells, pairwise
+// probabilistic selection (eq. 8) and the Baganoff 5-vector collision.
+//
+// Reservoir particles live in the same arrays with pairing-cell indices in a
+// band past the real grid cells, so the same sort/pair/collide machinery
+// relaxes them "for free" — the paper's way of keeping otherwise idle
+// processors busy.
+//
+// Templated on the state scalar: `double` (reference) or
+// `fixedpoint::Fixed32` (the paper's integer CM-2 implementation).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "cmdp/thread_pool.h"
+#include "cmdp/timers.h"
+#include "core/config.h"
+#include "core/particles.h"
+#include "core/sampling.h"
+#include "fixedpoint/fixed32.h"
+#include "geom/boundary.h"
+#include "geom/grid.h"
+#include "geom/wedge.h"
+#include "physics/selection.h"
+
+namespace cmdsmc::core {
+
+// Per-run cumulative counters.
+struct SimCounters {
+  std::uint64_t candidates = 0;   // candidate pairs examined
+  std::uint64_t collisions = 0;   // pairs actually collided (flow)
+  std::uint64_t reservoir_collisions = 0;
+  std::uint64_t removed = 0;      // particles removed through the sink
+  std::uint64_t injected = 0;     // particles injected from the reservoir
+  std::uint64_t synthesized = 0;  // fallback Gaussian injections (reservoir
+                                  // was empty); 0 in a healthy run
+};
+
+template <class Real>
+class Simulation {
+ public:
+  // Phase indices for the performance breakdown (Table A).
+  enum Phase : std::size_t {
+    kPhaseMove = 0,   // motion + boundary conditions + injection
+    kPhaseSort,       // key build + rank sort + gather
+    kPhaseSelect,     // cell counts + selection rule
+    kPhaseCollide,    // collision of selected partners
+    kPhaseSample,     // time-average accumulation
+    kPhaseCount,
+  };
+
+  explicit Simulation(const SimConfig& cfg,
+                      cmdp::ThreadPool* pool = nullptr);
+
+  // Advances one full time step.
+  void step();
+  void run(int nsteps);
+
+  // Time-average sampling control (off initially; enable after the start-up
+  // transient).
+  void set_sampling(bool on) { sampling_ = on; }
+  void reset_sampling() { sampler_.reset(); }
+  FieldStats field() const { return sampler_.finalize(); }
+
+  // --- Accessors ---
+  const SimConfig& config() const { return cfg_; }
+  const geom::Grid& grid() const { return grid_; }
+  const geom::Wedge* wedge() const {
+    return wedge_ ? &wedge_.value() : nullptr;
+  }
+  const std::vector<double>& open_fraction() const { return open_frac_; }
+  const physics::SelectionRule& selection_rule() const { return rule_; }
+  ParticleStore<Real>& particles() { return store_; }
+  const ParticleStore<Real>& particles() const { return store_; }
+  std::size_t total_count() const { return store_.size(); }
+  std::size_t reservoir_count() const { return res_count_; }
+  std::size_t flow_count() const { return store_.size() - res_count_; }
+  std::int64_t step_index() const { return step_; }
+  const SimCounters& counters() const { return counters_; }
+  double plunger_x() const { return plunger_x_; }
+
+  // Phase wall-clock seconds (Table A) and their sum.
+  double phase_seconds(Phase p) const { return timers_.seconds(phase_id_[p]); }
+  double total_seconds() const { return timers_.total_seconds(); }
+  cmdp::PhaseTimers& timers() { return timers_; }
+
+  // --- Conservation diagnostics (flow + reservoir, double precision) ---
+  // Total kinetic + rotational energy per unit mass: sum 0.5 (u^2 + r^2).
+  double total_energy() const;
+  // Total momentum per unit mass.
+  std::array<double, 3> total_momentum() const;
+  // Same restricted to flow particles.
+  double flow_energy() const;
+
+ private:
+  using N = physics::Num<Real>;
+
+  void init_particles();
+  void phase_move_and_boundaries();
+  void inject_void(double width, double x_offset);
+  void soft_source_topup();
+  void phase_sort();
+  void phase_select();
+  void phase_collide();
+  void phase_sample();
+  std::uint64_t bits_for(std::uint64_t i, std::uint64_t salt) const {
+    return rng::hash4(cfg_.seed, i, static_cast<std::uint64_t>(step_), salt);
+  }
+  // "Quick but dirty" bits from the low-order state bits (paper).
+  std::uint64_t dirty_state_bits(std::size_t i) const;
+  std::uint32_t reservoir_pair_cell(std::uint64_t i) const;
+
+  SimConfig cfg_;
+  cmdp::ThreadPool* pool_;
+  geom::Grid grid_;
+  std::optional<geom::Wedge> wedge_;
+  std::vector<double> open_frac_;
+  physics::SelectionRule rule_;
+  double u_inf_ = 0.0;          // freestream speed (cells/step)
+  double n_inf_ = 0.0;          // freestream particles per cell volume
+  std::uint32_t ncells_ = 0;    // real grid cells
+  std::uint32_t res_cells_ = 1;  // reservoir pairing pseudo-cells
+  double plunger_x_ = 0.0;
+
+  ParticleStore<Real> store_;
+  ParticleStore<Real> scratch_;
+  std::vector<std::uint32_t> keys_;
+  std::vector<std::uint32_t> order_;
+  std::vector<std::uint32_t> counts_;  // per pairing cell
+  std::vector<std::uint32_t> starts_;
+  std::vector<std::uint8_t> accept_;
+
+  std::size_t res_count_ = 0;  // reservoir particles (anywhere in the array)
+  std::size_t res_tail_ = 0;   // reservoir particles contiguous at the tail
+
+  FieldSampler<Real> sampler_;
+  bool sampling_ = false;
+  std::int64_t step_ = 0;
+  SimCounters counters_;
+  cmdp::PhaseTimers timers_;
+  std::array<std::size_t, kPhaseCount> phase_id_{};
+};
+
+using SimulationD = Simulation<double>;
+using SimulationF = Simulation<fixedpoint::Fixed32>;
+
+extern template class Simulation<double>;
+extern template class Simulation<fixedpoint::Fixed32>;
+
+}  // namespace cmdsmc::core

@@ -1,0 +1,59 @@
+// Steady-state detection: the paper runs a fixed 1200 steps "to reach
+// steady state"; this helper detects convergence adaptively by watching
+// windowed means of scalar signals (flow count, total energy, ...).
+#pragma once
+
+#include <cstddef>
+#include <deque>
+
+namespace cmdsmc::core {
+
+// Declares a signal steady once the relative difference between the means
+// of two consecutive windows stays below `tolerance` for `patience`
+// consecutive samples.
+class SteadyDetector {
+ public:
+  explicit SteadyDetector(std::size_t window = 50, double tolerance = 0.01,
+                          int patience = 3)
+      : window_(window), tolerance_(tolerance), patience_(patience) {}
+
+  // Feeds one sample; returns true once steady.
+  bool push(double value) {
+    history_.push_back(value);
+    if (history_.size() > 2 * window_) history_.pop_front();
+    if (history_.size() < 2 * window_) return steady_;
+    double old_mean = 0.0;
+    double new_mean = 0.0;
+    for (std::size_t k = 0; k < window_; ++k) {
+      old_mean += history_[k];
+      new_mean += history_[k + window_];
+    }
+    old_mean /= static_cast<double>(window_);
+    new_mean /= static_cast<double>(window_);
+    const double scale =
+        std::abs(old_mean) > 1e-300 ? std::abs(old_mean) : 1.0;
+    if (std::abs(new_mean - old_mean) / scale < tolerance_) {
+      if (++hits_ >= patience_) steady_ = true;
+    } else {
+      hits_ = 0;
+    }
+    return steady_;
+  }
+
+  bool steady() const { return steady_; }
+  void reset() {
+    history_.clear();
+    hits_ = 0;
+    steady_ = false;
+  }
+
+ private:
+  std::size_t window_;
+  double tolerance_;
+  int patience_;
+  std::deque<double> history_;
+  int hits_ = 0;
+  bool steady_ = false;
+};
+
+}  // namespace cmdsmc::core

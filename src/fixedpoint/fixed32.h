@@ -1,0 +1,91 @@
+// 32-bit fixed-point arithmetic matching the paper's integer implementation:
+// "the physical state of a particle is stored in a 32 bit fixed point format
+// with 23 bits for precision".
+//
+// Layout: 1 sign bit, 8 integer bits, 23 fraction bits (Q8.23, two's
+// complement), covering ±256 with resolution 2^-23 — enough for a wind tunnel
+// a couple of hundred cells long with cell width 1.
+//
+// The paper's key numerical observation is reproduced here: plain truncation
+// of the divide-by-2 in the collision kernel systematically destroys energy
+// in stagnation regions; adding 0 or 1 to the result with equal probability
+// ("stochastic rounding") restores energy conservation in expectation.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <limits>
+
+namespace cmdsmc::fixedpoint {
+
+struct Fixed32 {
+  static constexpr int kFracBits = 23;
+  static constexpr std::int32_t kOne = std::int32_t{1} << kFracBits;
+
+  std::int32_t raw = 0;
+
+  constexpr Fixed32() = default;
+  constexpr explicit Fixed32(std::int32_t raw_value) : raw(raw_value) {}
+
+  static constexpr Fixed32 from_raw(std::int32_t r) { return Fixed32(r); }
+  static constexpr Fixed32 from_double(double v) {
+    return Fixed32(static_cast<std::int32_t>(
+        v * static_cast<double>(kOne) + (v >= 0 ? 0.5 : -0.5)));
+  }
+  constexpr double to_double() const {
+    return static_cast<double>(raw) / static_cast<double>(kOne);
+  }
+
+  friend constexpr Fixed32 operator+(Fixed32 a, Fixed32 b) {
+    return Fixed32(a.raw + b.raw);
+  }
+  friend constexpr Fixed32 operator-(Fixed32 a, Fixed32 b) {
+    return Fixed32(a.raw - b.raw);
+  }
+  constexpr Fixed32 operator-() const { return Fixed32(-raw); }
+  constexpr Fixed32& operator+=(Fixed32 b) {
+    raw += b.raw;
+    return *this;
+  }
+  constexpr Fixed32& operator-=(Fixed32 b) {
+    raw -= b.raw;
+    return *this;
+  }
+  friend constexpr bool operator==(Fixed32 a, Fixed32 b) {
+    return a.raw == b.raw;
+  }
+  friend constexpr auto operator<=>(Fixed32 a, Fixed32 b) {
+    return a.raw <=> b.raw;
+  }
+
+  // Round-to-nearest multiply (used outside the hot collision path).
+  friend constexpr Fixed32 mul(Fixed32 a, Fixed32 b) {
+    const std::int64_t p =
+        static_cast<std::int64_t>(a.raw) * static_cast<std::int64_t>(b.raw);
+    return Fixed32(
+        static_cast<std::int32_t>((p + (std::int64_t{1} << (kFracBits - 1))) >>
+                                  kFracBits));
+  }
+};
+
+// Truncating halve: rounds toward zero (ordinary integer division
+// semantics), so the magnitude of every odd value shrinks by half an ulp on
+// average.  This is the "consistent truncation after division by 2" the
+// paper identifies as the source of significant energy loss in stagnation
+// regions.
+constexpr Fixed32 half_truncate(Fixed32 v) { return Fixed32(v.raw / 2); }
+
+// Stochastically rounded halve: add the supplied random bit before shifting,
+// making the expected value exact.  `bit` must be 0 or 1.
+constexpr Fixed32 half_stochastic(Fixed32 v, std::uint32_t bit) {
+  return Fixed32((v.raw + static_cast<std::int32_t>(bit & 1u)) >> 1);
+}
+
+// "Quick but dirty" random bits harvested from the low-order bits of a
+// physical state quantity (paper, Specific Implementation Issues).  Of
+// limited size and unspecified distribution; for low-impact uses only.
+constexpr std::uint32_t dirty_bits(Fixed32 v, int nbits) {
+  return static_cast<std::uint32_t>(v.raw) & ((1u << nbits) - 1u);
+}
+
+}  // namespace cmdsmc::fixedpoint

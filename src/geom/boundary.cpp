@@ -1,0 +1,155 @@
+#include "geom/boundary.h"
+
+#include <cmath>
+
+#include "rng/rng.h"
+#include "rng/samplers.h"
+
+namespace cmdsmc::geom {
+
+namespace {
+
+// Mirror position and velocity about the plane through `wall` with outward
+// unit normal (nx, ny) (2D in the x-y plane).
+void specular_reflect(ParticleState& p, double px, double py, double nx,
+                      double ny) {
+  const double d = (p.x - px) * nx + (p.y - py) * ny;  // signed distance
+  p.x -= 2.0 * d * nx;
+  p.y -= 2.0 * d * ny;
+  const double vn = p.ux * nx + p.uy * ny;
+  if (vn < 0.0) {
+    p.ux -= 2.0 * vn * nx;
+    p.uy -= 2.0 * vn * ny;
+  }
+}
+
+// Diffuse re-emission from a wall with outward normal (nx, ny).  The
+// particle is placed on the surface (its penetration is reflected) and its
+// velocity resampled: flux-weighted half-Maxwellian along the normal,
+// Gaussian tangentially and rotationally.
+void diffuse_reflect(ParticleState& p, double px, double py, double nx,
+                     double ny, WallModel model, double wall_sigma,
+                     std::uint64_t rand_bits) {
+  const double d = (p.x - px) * nx + (p.y - py) * ny;
+  p.x -= 2.0 * d * nx;
+  p.y -= 2.0 * d * ny;
+  const double e_in = 0.5 * (p.ux * p.ux + p.uy * p.uy + p.uz * p.uz +
+                             p.r0 * p.r0 + p.r1 * p.r1);
+  rng::SplitMix64 g(rand_bits);
+  const double vn = rng::sample_flux_normal(g, wall_sigma);
+  const double vt = wall_sigma * rng::sample_gaussian(g);
+  // Tangent (ty, tx) chosen as the normal rotated -90 degrees.
+  const double tx = ny;
+  const double ty = -nx;
+  p.ux = vn * nx + vt * tx;
+  p.uy = vn * ny + vt * ty;
+  p.uz = wall_sigma * rng::sample_gaussian(g);
+  p.r0 = wall_sigma * rng::sample_gaussian(g);
+  p.r1 = wall_sigma * rng::sample_gaussian(g);
+  if (model == WallModel::kDiffuseAdiabatic) {
+    // Rescale so the particle leaves with the energy it arrived with.
+    const double e_out = 0.5 * (p.ux * p.ux + p.uy * p.uy + p.uz * p.uz +
+                                p.r0 * p.r0 + p.r1 * p.r1);
+    if (e_out > 0.0) {
+      const double s = std::sqrt(e_in / e_out);
+      p.ux *= s;
+      p.uy *= s;
+      p.uz *= s;
+      p.r0 *= s;
+      p.r1 *= s;
+    }
+  }
+}
+
+}  // namespace
+
+bool enforce_boundaries(ParticleState& p, const BoundaryConfig& bc,
+                        std::uint64_t rand_bits) {
+  // A particle can violate several boundaries in one step (e.g. floor then
+  // wedge near the leading edge); iterate until clean.  Four passes always
+  // suffice at sane CFL; afterwards clamp defensively.
+  for (int pass = 0; pass < 4; ++pass) {
+    bool dirty = false;
+
+    // Downstream sink first: supersonic outflow removes the particle.
+    if (p.x >= bc.x_max) {
+      if (!bc.closed) return false;
+      p.x = 2.0 * bc.x_max - p.x;
+      if (p.ux > 0.0) p.ux = -p.ux;
+      dirty = true;
+    }
+
+    // Upstream plunger (moving hard wall) or the fixed upstream wall at 0.
+    const double wall_x = bc.plunger_active ? bc.plunger_x : 0.0;
+    if (p.x < wall_x) {
+      p.x = 2.0 * wall_x - p.x;
+      // Specular reflection in the moving wall frame: u' = 2 U_wall - u.
+      const double uw = bc.plunger_active ? bc.plunger_speed : 0.0;
+      if (p.ux < uw) p.ux = 2.0 * uw - p.ux;
+      dirty = true;
+    }
+
+    // Floor and ceiling: specular.
+    if (p.y < 0.0) {
+      p.y = -p.y;
+      if (p.uy < 0.0) p.uy = -p.uy;
+      dirty = true;
+    } else if (p.y >= bc.y_max) {
+      p.y = 2.0 * bc.y_max - p.y;
+      if (p.uy > 0.0) p.uy = -p.uy;
+      dirty = true;
+    }
+
+    // 3D side walls: specular.
+    if (bc.z_max > 0.0) {
+      if (p.z < 0.0) {
+        p.z = -p.z;
+        if (p.uz < 0.0) p.uz = -p.uz;
+        dirty = true;
+      } else if (p.z >= bc.z_max) {
+        p.z = 2.0 * bc.z_max - p.z;
+        if (p.uz > 0.0) p.uz = -p.uz;
+        dirty = true;
+      }
+    }
+
+    // The wedge body.
+    if (bc.wedge != nullptr) {
+      if (auto hit = bc.wedge->nearest_face(p.x, p.y)) {
+        if (bc.wall == WallModel::kSpecular) {
+          // Reflect about the violated face: the face plane passes through
+          // the point offset by `depth` along the normal.
+          specular_reflect(p, p.x - hit->depth * hit->nx,
+                           p.y - hit->depth * hit->ny, hit->nx, hit->ny);
+        } else {
+          diffuse_reflect(p, p.x - hit->depth * hit->nx,
+                          p.y - hit->depth * hit->ny, hit->nx, hit->ny,
+                          bc.wall, bc.wall_sigma,
+                          rng::mix64(rand_bits + 0x9e37u * (pass + 1)));
+        }
+        dirty = true;
+      }
+    }
+
+    if (!dirty) return true;
+  }
+
+  // Defensive clamp for pathological corner cases (e.g. a particle trapped
+  // exactly in the wedge apex): project to the nearest open location.
+  if (p.x < 0.0) p.x = 0.0;
+  if (p.x >= bc.x_max) p.x = bc.x_max - 1e-9;
+  if (p.y < 0.0) p.y = 0.0;
+  if (p.y >= bc.y_max) p.y = bc.y_max - 1e-9;
+  if (bc.z_max > 0.0) {
+    if (p.z < 0.0) p.z = 0.0;
+    if (p.z >= bc.z_max) p.z = bc.z_max - 1e-9;
+  }
+  if (bc.wedge != nullptr && bc.wedge->inside(p.x, p.y)) {
+    // Lift the particle just above the ramp surface.
+    p.y = bc.wedge->surface_y(p.x) + 1e-9;
+    if (p.y >= bc.y_max) p.y = bc.y_max - 1e-9;
+  }
+  return true;
+}
+
+}  // namespace cmdsmc::geom

@@ -1,0 +1,81 @@
+// Wind-tunnel boundary system (paper: "Boundary Conditions" and "Particle
+// Motion and Boundary Interaction").
+//
+// Hard boundaries: tunnel floor/ceiling (specular), the wedge body (specular
+// by default; the paper's future-work no-slip diffuse isothermal/adiabatic
+// walls are implemented as options), and the upstream *plunger* — a hard
+// boundary moving with the freestream that is withdrawn when it crosses a
+// trigger point, the void behind it being refilled with reservoir particles.
+//
+// Soft boundaries: the downstream sink (supersonic outflow; exiting particles
+// are removed to the reservoir) and, alternatively to the plunger, a soft
+// upstream source (the vector-architecture variant the paper describes).
+#pragma once
+
+#include <cstdint>
+
+#include "geom/wedge.h"
+
+namespace cmdsmc::geom {
+
+enum class WallModel {
+  kSpecular,           // inviscid: mirror reflection (paper's validation mode)
+  kDiffuseIsothermal,  // full accommodation to a fixed wall temperature
+  kDiffuseAdiabatic,   // diffuse directions, particle energy preserved
+};
+
+enum class UpstreamMode {
+  kPlunger,     // hard moving boundary (the paper's parallel-machine choice)
+  kSoftSource,  // density-controlled inflow strip (vector-machine choice)
+};
+
+// The upstream plunger.  Starts at x = 0, advances with the freestream, and
+// retracts once it crosses `trigger`, reporting the void width to refill.
+struct Plunger {
+  double x = 0.0;
+  double speed = 0.0;
+  double trigger = 3.0;
+
+  // Advances one time step.  Returns the void width (> 0) if the plunger
+  // retracted this step, else 0.
+  double advance() {
+    x += speed;
+    if (x >= trigger) {
+      const double width = x;
+      x = 0.0;
+      return width;
+    }
+    return 0.0;
+  }
+};
+
+// Double-precision working copy of one particle's state for boundary math.
+struct ParticleState {
+  double x = 0.0, y = 0.0, z = 0.0;
+  double ux = 0.0, uy = 0.0, uz = 0.0;
+  double r0 = 0.0, r1 = 0.0;
+};
+
+struct BoundaryConfig {
+  double x_max = 0.0;  // downstream sink plane
+  double y_max = 0.0;  // ceiling
+  double z_max = 0.0;  // 3D side walls; <= 0 disables z handling
+  const Wedge* wedge = nullptr;
+  double plunger_x = 0.0;      // current plunger face (0 = inactive wall at 0)
+  double plunger_speed = 0.0;  // freestream speed (for moving-frame reflect)
+  bool plunger_active = false;
+  WallModel wall = WallModel::kSpecular;
+  double wall_sigma = 0.0;  // thermal std dev of diffuse walls
+  // Closed-box mode: the downstream plane becomes a specular wall instead of
+  // a sink (used by conservation tests and the baseline comparisons).
+  bool closed = false;
+};
+
+// Applies every wall/body interaction to a tentatively moved particle.
+// Returns false if the particle left through the downstream sink (caller
+// removes it to the reservoir).  `rand_bits` seeds any sampling needed by
+// diffuse walls.
+bool enforce_boundaries(ParticleState& p, const BoundaryConfig& bc,
+                        std::uint64_t rand_bits);
+
+}  // namespace cmdsmc::geom

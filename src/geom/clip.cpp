@@ -1,0 +1,55 @@
+#include "geom/clip.h"
+
+#include <cmath>
+
+namespace cmdsmc::geom {
+
+double polygon_area(const std::vector<Vec2>& poly) {
+  const std::size_t n = poly.size();
+  if (n < 3) return 0.0;
+  double acc = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const Vec2& p = poly[i];
+    const Vec2& q = poly[(i + 1) % n];
+    acc += p.x * q.y - q.x * p.y;
+  }
+  return 0.5 * acc;
+}
+
+std::vector<Vec2> clip_halfplane(const std::vector<Vec2>& poly, double a,
+                                 double b, double c) {
+  std::vector<Vec2> out;
+  const std::size_t n = poly.size();
+  if (n == 0) return out;
+  out.reserve(n + 2);
+  for (std::size_t i = 0; i < n; ++i) {
+    const Vec2& p = poly[i];
+    const Vec2& q = poly[(i + 1) % n];
+    const double dp = a * p.x + b * p.y - c;
+    const double dq = a * q.x + b * q.y - c;
+    const bool pin = dp <= 0.0;
+    const bool qin = dq <= 0.0;
+    if (pin) out.push_back(p);
+    if (pin != qin) {
+      const double t = dp / (dp - dq);
+      out.push_back({p.x + t * (q.x - p.x), p.y + t * (q.y - p.y)});
+    }
+  }
+  return out;
+}
+
+std::vector<Vec2> clip_rect(const std::vector<Vec2>& poly, double x0,
+                            double y0, double x1, double y1) {
+  std::vector<Vec2> p = clip_halfplane(poly, -1.0, 0.0, -x0);  // x >= x0
+  p = clip_halfplane(p, 1.0, 0.0, x1);                         // x <= x1
+  p = clip_halfplane(p, 0.0, -1.0, -y0);                       // y >= y0
+  p = clip_halfplane(p, 0.0, 1.0, y1);                         // y <= y1
+  return p;
+}
+
+double intersection_area_rect(const std::vector<Vec2>& poly, double x0,
+                              double y0, double x1, double y1) {
+  return std::abs(polygon_area(clip_rect(poly, x0, y0, x1, y1)));
+}
+
+}  // namespace cmdsmc::geom

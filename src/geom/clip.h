@@ -1,0 +1,31 @@
+// Convex polygon clipping used to compute fractional cell volumes for cells
+// cut by the wedge surface (paper: "where cells are divided by the wedge
+// special allowance must be made for the fractional cell volume").
+#pragma once
+
+#include <vector>
+
+namespace cmdsmc::geom {
+
+struct Vec2 {
+  double x = 0.0;
+  double y = 0.0;
+};
+
+// Signed area (positive for counter-clockwise winding).
+double polygon_area(const std::vector<Vec2>& poly);
+
+// Sutherland–Hodgman clip of a convex polygon against the half-plane
+// a*x + b*y <= c.
+std::vector<Vec2> clip_halfplane(const std::vector<Vec2>& poly, double a,
+                                 double b, double c);
+
+// Clip a convex polygon to the axis-aligned rectangle [x0,x1] x [y0,y1].
+std::vector<Vec2> clip_rect(const std::vector<Vec2>& poly, double x0,
+                            double y0, double x1, double y1);
+
+// Area of (convex poly) ∩ ([x0,x1] x [y0,y1]).
+double intersection_area_rect(const std::vector<Vec2>& poly, double x0,
+                              double y0, double x1, double y1);
+
+}  // namespace cmdsmc::geom

@@ -1,0 +1,55 @@
+// Uniform cell grid (2D or quasi-3D), cell width 1 (paper: "a rectangular
+// grid of square cells of unit normal width").
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+
+namespace cmdsmc::geom {
+
+struct Grid {
+  int nx = 0;
+  int ny = 0;
+  int nz = 0;  // 0 => 2D
+
+  bool is3d() const { return nz > 0; }
+  std::int64_t ncells() const {
+    return static_cast<std::int64_t>(nx) * ny * (is3d() ? nz : 1);
+  }
+
+  // Cell index of a clamped integer coordinate triple.
+  std::uint32_t index(int ix, int iy, int iz = 0) const {
+    if (ix < 0) ix = 0;
+    if (ix >= nx) ix = nx - 1;
+    if (iy < 0) iy = 0;
+    if (iy >= ny) iy = ny - 1;
+    if (is3d()) {
+      if (iz < 0) iz = 0;
+      if (iz >= nz) iz = nz - 1;
+      return static_cast<std::uint32_t>((static_cast<std::int64_t>(iz) * ny +
+                                         iy) *
+                                            nx +
+                                        ix);
+    }
+    return static_cast<std::uint32_t>(iy * nx + ix);
+  }
+
+  int cell_ix(std::uint32_t cell) const { return static_cast<int>(cell % nx); }
+  int cell_iy(std::uint32_t cell) const {
+    return static_cast<int>((cell / nx) % ny);
+  }
+  int cell_iz(std::uint32_t cell) const {
+    return is3d() ? static_cast<int>(cell / (static_cast<std::uint32_t>(nx) *
+                                             ny))
+                  : 0;
+  }
+
+  void validate() const {
+    if (nx <= 0 || ny <= 0 || nz < 0)
+      throw std::invalid_argument("Grid: nx, ny must be positive, nz >= 0");
+    if (ncells() > (std::int64_t{1} << 31))
+      throw std::invalid_argument("Grid: too many cells for 32-bit indices");
+  }
+};
+
+}  // namespace cmdsmc::geom

@@ -1,0 +1,46 @@
+#include "io/contour.h"
+
+#include <algorithm>
+
+namespace cmdsmc::io {
+
+std::string render_ascii(const core::FieldStats& f,
+                         const std::vector<double>& field,
+                         const ContourOptions& opt) {
+  const int x1 = opt.x1 > 0 ? std::min(opt.x1, f.grid.nx) : f.grid.nx;
+  const int y1 = opt.y1 > 0 ? std::min(opt.y1, f.grid.ny) : f.grid.ny;
+  const int nglyphs = static_cast<int>(opt.glyphs.size());
+  std::string out;
+  out.reserve(static_cast<std::size_t>((x1 - opt.x0 + 1) * (y1 - opt.y0)));
+  for (int iy = y1 - 1; iy >= opt.y0; --iy) {
+    for (int ix = opt.x0; ix < x1; ++ix) {
+      const double v = field[f.grid.index(ix, iy, opt.z_plane)];
+      double t = (v - opt.vmin) / (opt.vmax - opt.vmin);
+      t = std::clamp(t, 0.0, 1.0);
+      int g = static_cast<int>(t * (nglyphs - 1) + 0.5);
+      out.push_back(opt.glyphs[static_cast<std::size_t>(g)]);
+    }
+    out.push_back('\n');
+  }
+  return out;
+}
+
+std::vector<double> column_profile(const core::FieldStats& f,
+                                   const std::vector<double>& field, int ix,
+                                   int z_plane) {
+  std::vector<double> out(static_cast<std::size_t>(f.grid.ny));
+  for (int iy = 0; iy < f.grid.ny; ++iy)
+    out[static_cast<std::size_t>(iy)] = field[f.grid.index(ix, iy, z_plane)];
+  return out;
+}
+
+std::vector<double> row_profile(const core::FieldStats& f,
+                                const std::vector<double>& field, int iy,
+                                int z_plane) {
+  std::vector<double> out(static_cast<std::size_t>(f.grid.nx));
+  for (int ix = 0; ix < f.grid.nx; ++ix)
+    out[static_cast<std::size_t>(ix)] = field[f.grid.index(ix, iy, z_plane)];
+  return out;
+}
+
+}  // namespace cmdsmc::io

@@ -1,0 +1,38 @@
+// ASCII rendering of cell fields: the terminal stand-in for the paper's
+// contour (figs. 1, 4) and surface (figs. 2, 3, 5, 6) plots.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/sampling.h"
+
+namespace cmdsmc::io {
+
+struct ContourOptions {
+  double vmin = 0.0;   // value mapped to the first glyph
+  double vmax = 4.0;   // value mapped to the last glyph
+  int x0 = 0, y0 = 0;  // window (cells); x1/y1 <= 0 means full extent
+  int x1 = 0, y1 = 0;
+  int z_plane = 0;
+  std::string glyphs = " .:-=+*#%@";  // low -> high
+};
+
+// Renders the field as an ASCII map, y increasing upward (row 0 printed
+// last), one glyph per cell.
+std::string render_ascii(const core::FieldStats& f,
+                         const std::vector<double>& field,
+                         const ContourOptions& opt = {});
+
+// Extracts a 1D profile of `field` along a vertical line at column ix
+// (values bottom to top).
+std::vector<double> column_profile(const core::FieldStats& f,
+                                   const std::vector<double>& field, int ix,
+                                   int z_plane = 0);
+
+// Extracts a horizontal profile at row iy.
+std::vector<double> row_profile(const core::FieldStats& f,
+                                const std::vector<double>& field, int iy,
+                                int z_plane = 0);
+
+}  // namespace cmdsmc::io

@@ -1,0 +1,52 @@
+#include "io/csv.h"
+
+#include <fstream>
+#include <stdexcept>
+
+namespace cmdsmc::io {
+
+CsvTable::CsvTable(std::vector<std::string> columns)
+    : columns_(std::move(columns)) {}
+
+void CsvTable::add_row(const std::vector<double>& values) {
+  if (values.size() != columns_.size())
+    throw std::invalid_argument("CsvTable: row width mismatch");
+  rows_.push_back(values);
+}
+
+void CsvTable::write(std::ostream& os) const {
+  for (std::size_t c = 0; c < columns_.size(); ++c)
+    os << (c ? "," : "") << columns_[c];
+  os << "\n";
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c)
+      os << (c ? "," : "") << row[c];
+    os << "\n";
+  }
+}
+
+void CsvTable::write_file(const std::string& path) const {
+  std::ofstream os(path);
+  if (!os) throw std::runtime_error("CsvTable: cannot open " + path);
+  write(os);
+}
+
+void write_field_csv(std::ostream& os, const core::FieldStats& f,
+                     const std::vector<double>& field,
+                     const std::string& value_name, int z_plane) {
+  os << "x,y," << value_name << "\n";
+  for (int iy = 0; iy < f.grid.ny; ++iy)
+    for (int ix = 0; ix < f.grid.nx; ++ix)
+      os << ix + 0.5 << "," << iy + 0.5 << ","
+         << field[f.grid.index(ix, iy, z_plane)] << "\n";
+}
+
+void write_field_csv_file(const std::string& path, const core::FieldStats& f,
+                          const std::vector<double>& field,
+                          const std::string& value_name, int z_plane) {
+  std::ofstream os(path);
+  if (!os) throw std::runtime_error("write_field_csv: cannot open " + path);
+  write_field_csv(os, f, field, value_name, z_plane);
+}
+
+}  // namespace cmdsmc::io

@@ -1,0 +1,40 @@
+// Minimal CSV table writer used by the benches and examples to dump the
+// density/temperature fields behind the paper's figures.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "core/sampling.h"
+
+namespace cmdsmc::io {
+
+// A simple column-oriented table.
+class CsvTable {
+ public:
+  explicit CsvTable(std::vector<std::string> columns);
+
+  void add_row(const std::vector<double>& values);
+  std::size_t rows() const { return rows_.size(); }
+
+  void write(std::ostream& os) const;
+  // Writes to the given path; throws std::runtime_error on failure.
+  void write_file(const std::string& path) const;
+
+ private:
+  std::vector<std::string> columns_;
+  std::vector<std::vector<double>> rows_;
+};
+
+// Dumps a cell field as rows (x, y[, z], value).  2D fields use the k=0
+// plane of 3D grids unless `z_plane` selects another.
+void write_field_csv(std::ostream& os, const core::FieldStats& f,
+                     const std::vector<double>& field,
+                     const std::string& value_name, int z_plane = 0);
+
+void write_field_csv_file(const std::string& path, const core::FieldStats& f,
+                          const std::vector<double>& field,
+                          const std::string& value_name, int z_plane = 0);
+
+}  // namespace cmdsmc::io

@@ -1,0 +1,217 @@
+#include "io/shock_analysis.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "io/contour.h"
+#include "physics/theory.h"
+
+namespace cmdsmc::io {
+
+namespace {
+
+constexpr double kDeg = 180.0 / std::numbers::pi;
+
+// 3-point smoothed value of a column profile.
+double smoothed(const std::vector<double>& p, int iy) {
+  const int n = static_cast<int>(p.size());
+  double acc = 0.0;
+  int cnt = 0;
+  for (int k = iy - 1; k <= iy + 1; ++k) {
+    if (k < 0 || k >= n) continue;
+    acc += p[static_cast<std::size_t>(k)];
+    ++cnt;
+  }
+  return acc / cnt;
+}
+
+// Scanning downward from the ceiling, the interpolated y where the raw
+// profile first rises through `level`.  Returns a negative value if never
+// crossed.
+double crossing_from_top(const std::vector<double>& p, double level,
+                         int y_floor) {
+  for (int iy = static_cast<int>(p.size()) - 2; iy > y_floor; --iy) {
+    const double hi = p[static_cast<std::size_t>(iy + 1)];
+    const double lo = p[static_cast<std::size_t>(iy)];
+    if (hi < level && lo >= level) {
+      const double t = (level - hi) / (lo - hi);
+      return (iy + 1 + 0.5) - t;  // cell centers at iy + 0.5
+    }
+  }
+  return -1.0;
+}
+
+}  // namespace
+
+ShockFit measure_oblique_shock(const core::FieldStats& f,
+                               const geom::Wedge& wedge, int margin) {
+  ShockFit fit;
+  const int x_lo = static_cast<int>(std::ceil(wedge.x0())) + margin;
+  const int x_hi = static_cast<int>(std::floor(wedge.apex_x())) - margin;
+  if (x_hi - x_lo < 4) return fit;
+  const int x_half = (x_lo + x_hi) / 2;
+
+  // Pass 1: post-shock plateau per column (largest smoothed density above
+  // the surface).  Near the leading edge the plateau band is thinner than
+  // the smeared shock, so the density ratio is taken from the downstream
+  // half, where the band is wide; the median rejects outliers.
+  std::vector<double> plateau_ds;
+  for (int ix = x_half; ix < x_hi; ++ix) {
+    const auto profile = column_profile(f, f.density, ix);
+    const int y_surf = static_cast<int>(std::ceil(wedge.surface_y(ix + 0.5)));
+    const int y_top = f.grid.ny - 3;
+    double plateau = 0.0;
+    for (int iy = y_surf + 1; iy < y_top; ++iy)
+      plateau = std::max(plateau, smoothed(profile, iy));
+    if (plateau > 1.2) plateau_ds.push_back(plateau);
+  }
+  if (plateau_ds.size() < 2) return fit;
+  std::nth_element(plateau_ds.begin(),
+                   plateau_ds.begin() + plateau_ds.size() / 2,
+                   plateau_ds.end());
+  const double plateau = plateau_ds[plateau_ds.size() / 2];
+
+  // Pass 2: shock front locus at the fixed mid-density level, raw
+  // interpolation, one point per column.
+  const double mid = 0.5 * (1.0 + plateau);
+  std::vector<double> xs;
+  std::vector<double> ys;
+  std::vector<double> widths;
+  for (int ix = x_lo; ix < x_hi; ++ix) {
+    const auto profile = column_profile(f, f.density, ix);
+    const int y_surf = static_cast<int>(std::ceil(wedge.surface_y(ix + 0.5)));
+    if (f.grid.ny - 3 - y_surf < 6) continue;
+    const double y_mid = crossing_from_top(profile, mid, y_surf);
+    if (y_mid < 0.0) continue;
+    xs.push_back(ix + 0.5);
+    ys.push_back(y_mid);
+    // 10-90% thickness along the vertical cut; trustworthy only where the
+    // plateau band is wide, i.e. the downstream half.
+    if (ix >= x_half) {
+      const double rise = plateau - 1.0;
+      const double y10 = crossing_from_top(profile, 1.0 + 0.1 * rise, y_surf);
+      const double y90 = crossing_from_top(profile, 1.0 + 0.9 * rise, y_surf);
+      if (y10 > 0.0 && y90 > 0.0 && y10 > y90) widths.push_back(y10 - y90);
+    }
+  }
+  if (xs.size() < 4) return fit;
+
+  // Least-squares line through the mid-crossing locus.
+  const auto n = static_cast<double>(xs.size());
+  double sx = 0.0, sy = 0.0, sxx = 0.0, sxy = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    sx += xs[i];
+    sy += ys[i];
+    sxx += xs[i] * xs[i];
+    sxy += xs[i] * ys[i];
+  }
+  const double denom = n * sxx - sx * sx;
+  if (std::abs(denom) < 1e-12) return fit;
+  fit.slope = (n * sxy - sx * sy) / denom;
+  fit.intercept = (sy - fit.slope * sx) / n;
+  fit.angle_deg = std::atan(fit.slope) * kDeg;
+  fit.columns_used = static_cast<int>(xs.size());
+  fit.density_ratio = plateau;
+
+  if (!widths.empty()) {
+    std::nth_element(widths.begin(), widths.begin() + widths.size() / 2,
+                     widths.end());
+    fit.thickness_vertical = widths[widths.size() / 2];
+    fit.thickness_normal =
+        fit.thickness_vertical * std::cos(std::atan(fit.slope));
+  }
+  fit.valid = true;
+  return fit;
+}
+
+WakeMetrics measure_wake(const core::FieldStats& f, const geom::Wedge& wedge,
+                         double presence_threshold, double recovery_level) {
+  WakeMetrics wm;
+  const int x_lo = static_cast<int>(wedge.apex_x()) + 2;
+  const int x_hi = f.grid.nx - 4;
+  if (x_hi - x_lo < 8) return wm;
+  // Floor profile: density averaged over the first 3 cell rows.
+  std::vector<double> floor;
+  floor.reserve(static_cast<std::size_t>(x_hi - x_lo));
+  for (int ix = x_lo; ix < x_hi; ++ix) {
+    double v = 0.0;
+    for (int iy = 0; iy < 3 && iy < f.grid.ny; ++iy)
+      v += f.at(f.density, ix, iy);
+    floor.push_back(v / 3.0);
+  }
+  double acc = 0.0;
+  for (std::size_t k = 0; k < floor.size(); ++k) {
+    acc += floor[k];
+    wm.max_density = std::max(wm.max_density, floor[k]);
+    if (wm.recovery_x < 0.0 && floor[k] >= recovery_level)
+      wm.recovery_x = x_lo + static_cast<double>(k) + 0.5;
+  }
+  wm.mean_density = acc / static_cast<double>(floor.size());
+  // Base density: the first 8 columns behind the back face.
+  double base = 0.0;
+  const std::size_t nb = std::min<std::size_t>(8, floor.size());
+  for (std::size_t k = 0; k < nb; ++k) base += floor[k];
+  wm.base_density = base / static_cast<double>(nb);
+  wm.shock_present = wm.base_density >= presence_threshold;
+  return wm;
+}
+
+std::vector<ExpansionSample> expansion_fan_check(
+    const core::FieldStats& f, const geom::Wedge& wedge, double rho_plateau,
+    double mach_surface, double radius, double max_turn_deg,
+    double step_deg) {
+  namespace th = cmdsmc::physics::theory;
+  std::vector<ExpansionSample> out;
+  const double cx = wedge.apex_x();
+  const double cy = wedge.height();
+  const double nu2 = th::prandtl_meyer(mach_surface);
+  const double m2sq = mach_surface * mach_surface;
+  const double gamma = th::kGammaDiatomic;
+  const double a0 = wedge.angle();
+  // Walk an arc of sample points around the corner.  At each point the
+  // *measured* flow turning angle (from the velocity field) parameterizes
+  // the isentropic Prandtl-Meyer prediction, which is compared with the
+  // measured density drop.  This avoids committing to the exact fan ray
+  // geometry, which a particle method smears anyway.
+  for (double ray = 0.0; ray <= max_turn_deg + 30.0; ray += step_deg) {
+    const double phi = a0 - ray / kDeg;  // geometric ray below the surface
+    const double px = cx + radius * std::cos(phi);
+    const double py = cy + radius * std::sin(phi);
+    const int ix = static_cast<int>(px);
+    const int iy = static_cast<int>(py);
+    if (ix < 0 || ix >= f.grid.nx || iy < 0 || iy >= f.grid.ny) continue;
+    const double ux = f.at(f.ux, ix, iy);
+    const double uy = f.at(f.uy, ix, iy);
+    if (ux * ux + uy * uy < 1e-12) continue;
+    const double turn_rad = a0 - std::atan2(uy, ux);
+    const double turn = turn_rad * kDeg;
+    if (turn < -2.0 || turn > max_turn_deg) continue;
+    ExpansionSample s;
+    s.turn_deg = turn;
+    s.measured_ratio = f.at(f.density, ix, iy) / rho_plateau;
+    const double clamped = turn_rad > 0.0 ? turn_rad : 0.0;
+    const double m3 = th::mach_from_prandtl_meyer(nu2 + clamped, gamma);
+    const double num = 1.0 + 0.5 * (gamma - 1.0) * m2sq;
+    const double den = 1.0 + 0.5 * (gamma - 1.0) * m3 * m3;
+    s.theory_ratio = std::pow(num / den, 1.0 / (gamma - 1.0));
+    out.push_back(s);
+  }
+  return out;
+}
+
+double stagnation_peak_density(const core::FieldStats& f,
+                               const geom::Wedge& wedge) {
+  // Band hugging the compression surface, away from leading edge and apex.
+  double peak = 0.0;
+  const int x_lo = static_cast<int>(wedge.x0()) + 3;
+  const int x_hi = static_cast<int>(wedge.apex_x()) - 2;
+  for (int ix = x_lo; ix < x_hi; ++ix) {
+    const int y_surf = static_cast<int>(wedge.surface_y(ix + 0.5));
+    for (int iy = y_surf; iy < std::min(y_surf + 4, f.grid.ny); ++iy)
+      peak = std::max(peak, f.at(f.density, ix, iy));
+  }
+  return peak;
+}
+
+}  // namespace cmdsmc::io

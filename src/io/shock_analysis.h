@@ -1,0 +1,74 @@
+// Quantitative extraction of the features the paper reads off its figures:
+// shock angle, post-shock density plateau (Rankine–Hugoniot check), shock
+// thickness, wake-shock presence, and the Prandtl–Meyer expansion at the
+// wedge corner.
+#pragma once
+
+#include <vector>
+
+#include "core/sampling.h"
+#include "geom/wedge.h"
+
+namespace cmdsmc::io {
+
+struct ShockFit {
+  bool valid = false;
+  double angle_deg = 0.0;       // fitted shock wave angle
+  double density_ratio = 0.0;   // post-shock plateau / freestream
+  double thickness_vertical = 0.0;  // 10-90% rise along vertical cuts (cells)
+  double thickness_normal = 0.0;    // resolved along the shock normal
+  int columns_used = 0;
+  // Fitted front line y = intercept + slope * x (cells).
+  double slope = 0.0;
+  double intercept = 0.0;
+};
+
+// Fits the oblique shock over the wedge from the time-averaged density
+// field.  Columns within `margin` cells of the leading edge/apex are
+// excluded.
+ShockFit measure_oblique_shock(const core::FieldStats& f,
+                               const geom::Wedge& wedge, int margin = 4);
+
+struct WakeMetrics {
+  // Mean floor density just behind the wedge back face (the recirculation
+  // base).  The near-continuum solution recompresses here (wake shock); in
+  // the rarefied solution the region is an order of magnitude emptier and
+  // the recompression is washed out (paper figs. 2 vs 5).
+  double base_density = 0.0;
+  double max_density = 0.0;   // maximum of the floor profile in the wake
+  double mean_density = 0.0;  // mean over the wake floor band
+  // Abscissa where the floor density recovers through `recovery_level`
+  // (recompression front); negative if it never does inside the domain.
+  double recovery_x = -1.0;
+  bool shock_present = false;
+};
+
+// Measures the wake recompression along the floor behind the wedge.  The
+// wake shock is declared present when the near-face base density exceeds
+// `presence_threshold` (default tuned so the paper's near-continuum case
+// reads "present" and the lambda = 0.5 case reads "washed out").
+WakeMetrics measure_wake(const core::FieldStats& f, const geom::Wedge& wedge,
+                         double presence_threshold = 0.03,
+                         double recovery_level = 0.2);
+
+struct ExpansionSample {
+  double turn_deg = 0.0;       // flow turning angle around the corner
+  double measured_ratio = 0.0;  // rho / rho_plateau from the field
+  double theory_ratio = 0.0;    // isentropic Prandtl–Meyer prediction
+};
+
+// Samples the density on an arc of radius `radius` around the wedge apex and
+// compares against the Prandtl–Meyer fan prediction.  `mach_surface` is the
+// Mach number of the flow along the wedge surface upstream of the corner
+// (e.g. from oblique-shock theory).
+std::vector<ExpansionSample> expansion_fan_check(
+    const core::FieldStats& f, const geom::Wedge& wedge, double rho_plateau,
+    double mach_surface, double radius = 6.0, double max_turn_deg = 40.0,
+    double step_deg = 5.0);
+
+// Stagnation-region density peak: maximum time-averaged density in the band
+// just upstream of the wedge face (figs. 3/6 territory).
+double stagnation_peak_density(const core::FieldStats& f,
+                               const geom::Wedge& wedge);
+
+}  // namespace cmdsmc::io

@@ -1,0 +1,44 @@
+#include "io/vtk.h"
+
+#include <fstream>
+#include <stdexcept>
+
+namespace cmdsmc::io {
+
+void write_vtk(const std::string& path, const core::FieldStats& f,
+               const std::string& title) {
+  std::ofstream os(path);
+  if (!os) throw std::runtime_error("write_vtk: cannot open " + path);
+  const int nx = f.grid.nx;
+  const int ny = f.grid.ny;
+  const int nz = f.grid.is3d() ? f.grid.nz : 1;
+  const std::size_t n = static_cast<std::size_t>(nx) * ny * nz;
+  os << "# vtk DataFile Version 3.0\n"
+     << title << "\n"
+     << "ASCII\n"
+     << "DATASET STRUCTURED_POINTS\n"
+     << "DIMENSIONS " << nx << " " << ny << " " << nz << "\n"
+     << "ORIGIN 0.5 0.5 0.5\n"
+     << "SPACING 1 1 1\n"
+     << "POINT_DATA " << n << "\n";
+  auto scalar = [&](const char* name, const std::vector<double>& field) {
+    os << "SCALARS " << name << " double 1\nLOOKUP_TABLE default\n";
+    for (int iz = 0; iz < nz; ++iz)
+      for (int iy = 0; iy < ny; ++iy)
+        for (int ix = 0; ix < nx; ++ix)
+          os << field[f.grid.index(ix, iy, iz)] << "\n";
+  };
+  scalar("density", f.density);
+  scalar("t_trans", f.t_trans);
+  scalar("t_rot", f.t_rot);
+  scalar("t_total", f.t_total);
+  os << "VECTORS velocity double\n";
+  for (int iz = 0; iz < nz; ++iz)
+    for (int iy = 0; iy < ny; ++iy)
+      for (int ix = 0; ix < nx; ++ix)
+        os << f.ux[f.grid.index(ix, iy, iz)] << " "
+           << f.uy[f.grid.index(ix, iy, iz)] << " 0\n";
+  if (!os) throw std::runtime_error("write_vtk: write failed for " + path);
+}
+
+}  // namespace cmdsmc::io

@@ -1,0 +1,19 @@
+// Legacy-VTK structured-points writer: loads the time-averaged fields into
+// any standard visualization tool (ParaView/VisIt) for the paper's contour
+// and surface views.
+#pragma once
+
+#include <string>
+
+#include "core/sampling.h"
+
+namespace cmdsmc::io {
+
+// Writes density, velocity and temperatures as a legacy VTK file
+// (STRUCTURED_POINTS, cell-centered data emitted as point data on the cell
+// lattice).  Works for 2D (nz treated as 1) and 3D grids.  Throws
+// std::runtime_error if the file cannot be written.
+void write_vtk(const std::string& path, const core::FieldStats& f,
+               const std::string& title = "cmdsmc fields");
+
+}  // namespace cmdsmc::io

@@ -1,0 +1,34 @@
+#include "physics/selection.h"
+
+#include <numbers>
+#include <stdexcept>
+
+namespace cmdsmc::physics {
+
+double mean_relative_speed(double sigma) {
+  return 4.0 * sigma / std::sqrt(std::numbers::pi);
+}
+
+double pc_from_lambda(double lambda_inf, double sigma) {
+  if (lambda_inf <= 0.0) return 1.0;
+  const double mean_speed = 2.0 * sigma * std::sqrt(2.0 / std::numbers::pi);
+  const double pc = mean_speed / lambda_inf;
+  return pc < 1.0 ? pc : 1.0;
+}
+
+SelectionRule SelectionRule::make(const GasModel& gas, double lambda_inf,
+                                  double sigma, double n_inf) {
+  if (sigma <= 0.0)
+    throw std::invalid_argument("SelectionRule: sigma must be positive");
+  if (n_inf <= 0.0)
+    throw std::invalid_argument("SelectionRule: n_inf must be positive");
+  SelectionRule rule;
+  rule.near_continuum = lambda_inf <= 0.0;
+  rule.pc_inf = pc_from_lambda(lambda_inf, sigma);
+  rule.n_inf = n_inf;
+  rule.g_inf = mean_relative_speed(sigma);
+  rule.g_exponent = gas.g_exponent();
+  return rule;
+}
+
+}  // namespace cmdsmc::physics

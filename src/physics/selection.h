@@ -1,0 +1,57 @@
+// The McDonald–Baganoff pairwise selection rule (paper eqs. 3–8).
+//
+// After the randomized sort, even/odd neighbours within a cell form candidate
+// pairs.  Each candidate pair collides with probability
+//
+//     P / P∞  =  (n / n∞) (g / g∞)^(1 - 4/alpha)            (eq. 7)
+//
+// which for Maxwell molecules (alpha = 4) reduces to P/P∞ = n/n∞ (eq. 8).
+// P∞ is tied to the desired freestream mean free path: in this pairing every
+// particle is a member of one candidate pair per step, so its collision
+// frequency is P per time step, the mean collision time is t_c = 1/P steps
+// and the mean free path is lambda = <|c'|> t_c.  Hence
+//
+//     P∞ = <|c'|>∞ / lambda∞ ,  <|c'|> = 2 sigma sqrt(2/pi).
+//
+// lambda∞ = 0 selects the paper's near-continuum mode: every candidate pair
+// collides (P = 1), and the number of collisions in a cell is half the number
+// of particles in it.
+#pragma once
+
+#include <cmath>
+
+#include "physics/gas_model.h"
+
+namespace cmdsmc::physics {
+
+// Freestream collision probability per candidate pair from the target mean
+// free path (in cell widths) and thermal std dev sigma (cells per step).
+// Returns 1 for lambda <= 0 (near continuum).
+double pc_from_lambda(double lambda_inf, double sigma);
+
+// Mean relative speed between two molecules of a 3D Maxwellian with
+// per-component std dev sigma: sqrt(2) * <|c|> = 4 sigma / sqrt(pi).
+double mean_relative_speed(double sigma);
+
+struct SelectionRule {
+  double pc_inf = 1.0;   // freestream per-pair collision probability
+  double n_inf = 1.0;    // freestream number density (particles per cell)
+  double g_inf = 1.0;    // freestream mean relative speed
+  double g_exponent = 0.0;
+  bool near_continuum = true;
+
+  static SelectionRule make(const GasModel& gas, double lambda_inf,
+                            double sigma, double n_inf);
+
+  // Collision probability for a candidate pair in a cell of density n_local
+  // with relative speed g (g ignored for Maxwell molecules).  Clipped to 1.
+  double probability(double n_local, double g) const {
+    if (near_continuum) return 1.0;
+    double p = pc_inf * (n_local / n_inf);
+    if (g_exponent != 0.0 && g_inf > 0.0)
+      p *= std::pow(g / g_inf, g_exponent);
+    return p < 1.0 ? p : 1.0;
+  }
+};
+
+}  // namespace cmdsmc::physics

@@ -1,0 +1,128 @@
+#include "physics/theory.h"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace cmdsmc::physics::theory {
+
+namespace {
+constexpr double kPi = std::numbers::pi;
+}
+
+double sound_speed(double sigma, double gamma) {
+  return std::sqrt(gamma) * sigma;
+}
+
+double normal_shock_density_ratio(double m1, double gamma) {
+  const double m2 = m1 * m1;
+  return ((gamma + 1.0) * m2) / ((gamma - 1.0) * m2 + 2.0);
+}
+
+double normal_shock_pressure_ratio(double m1, double gamma) {
+  const double m2 = m1 * m1;
+  return 1.0 + 2.0 * gamma / (gamma + 1.0) * (m2 - 1.0);
+}
+
+double normal_shock_temperature_ratio(double m1, double gamma) {
+  return normal_shock_pressure_ratio(m1, gamma) /
+         normal_shock_density_ratio(m1, gamma);
+}
+
+double normal_shock_downstream_mach(double m1, double gamma) {
+  const double m2 = m1 * m1;
+  return std::sqrt((1.0 + 0.5 * (gamma - 1.0) * m2) /
+                   (gamma * m2 - 0.5 * (gamma - 1.0)));
+}
+
+double deflection_angle(double beta, double m1, double gamma) {
+  const double m2 = m1 * m1;
+  const double sb = std::sin(beta);
+  const double num = 2.0 * (m2 * sb * sb - 1.0) / std::tan(beta);
+  const double den = m2 * (gamma + std::cos(2.0 * beta)) + 2.0;
+  return std::atan(num / den);
+}
+
+double oblique_shock_angle(double theta, double m1, double gamma) {
+  if (theta <= 0.0) return std::asin(1.0 / m1);  // Mach wave
+  // Scan for the maximum deflection to detect detachment, then bisect on the
+  // weak branch [mach angle, beta_max].
+  const double beta_min = std::asin(1.0 / m1);
+  double beta_max_defl = beta_min;
+  double max_defl = 0.0;
+  for (int i = 0; i <= 1000; ++i) {
+    const double b = beta_min + (kPi / 2.0 - beta_min) * i / 1000.0;
+    const double d = deflection_angle(b, m1, gamma);
+    if (d > max_defl) {
+      max_defl = d;
+      beta_max_defl = b;
+    }
+  }
+  if (theta > max_defl)
+    throw std::domain_error("oblique_shock_angle: shock detached");
+  double lo = beta_min;
+  double hi = beta_max_defl;
+  for (int i = 0; i < 200; ++i) {
+    const double mid = 0.5 * (lo + hi);
+    if (deflection_angle(mid, m1, gamma) < theta)
+      lo = mid;
+    else
+      hi = mid;
+  }
+  return 0.5 * (lo + hi);
+}
+
+double oblique_shock_density_ratio(double beta, double m1, double gamma) {
+  return normal_shock_density_ratio(m1 * std::sin(beta), gamma);
+}
+
+double oblique_shock_downstream_mach(double beta, double theta, double m1,
+                                     double gamma) {
+  const double m1n = m1 * std::sin(beta);
+  const double m2n = normal_shock_downstream_mach(m1n, gamma);
+  return m2n / std::sin(beta - theta);
+}
+
+double prandtl_meyer(double mach, double gamma) {
+  if (mach < 1.0)
+    throw std::domain_error("prandtl_meyer: requires M >= 1");
+  const double k = std::sqrt((gamma + 1.0) / (gamma - 1.0));
+  const double m2m1 = std::sqrt(mach * mach - 1.0);
+  return k * std::atan(m2m1 / k) - std::atan(m2m1);
+}
+
+double mach_from_prandtl_meyer(double nu, double gamma) {
+  const double k = std::sqrt((gamma + 1.0) / (gamma - 1.0));
+  const double nu_max = (k - 1.0) * kPi / 2.0;
+  if (nu < 0.0 || nu >= nu_max)
+    throw std::domain_error("mach_from_prandtl_meyer: nu out of range");
+  double lo = 1.0;
+  double hi = 1e4;
+  for (int i = 0; i < 200; ++i) {
+    const double mid = 0.5 * (lo + hi);
+    if (prandtl_meyer(mid, gamma) < nu)
+      lo = mid;
+    else
+      hi = mid;
+  }
+  return 0.5 * (lo + hi);
+}
+
+double isentropic_density_ratio(double mach, double gamma) {
+  return std::pow(1.0 + 0.5 * (gamma - 1.0) * mach * mach,
+                  -1.0 / (gamma - 1.0));
+}
+
+double maxwell_mean_speed(double sigma) {
+  return 2.0 * sigma * std::sqrt(2.0 / kPi);
+}
+
+double knudsen_number(double lambda, double length) {
+  return lambda / length;
+}
+
+double reynolds_from_mach_knudsen(double mach, double kn, double gamma) {
+  return std::sqrt(gamma * kPi / 2.0) * mach / kn;
+}
+
+}  // namespace cmdsmc::physics::theory

@@ -1,0 +1,61 @@
+// Inviscid compressible-flow and kinetic-theory reference relations.
+//
+// The paper validates the simulation against 2D inviscid theory: a 45° shock
+// angle and a 3.7x density rise for Mach 4 flow over a 30° wedge (gamma =
+// 7/5), plus the Prandtl–Meyer fan at the wedge corner.  These relations are
+// used by the test suite and by the table/figure benches to print
+// paper-vs-theory-vs-measured rows.
+#pragma once
+
+namespace cmdsmc::physics::theory {
+
+// Diatomic gas with 3 translational + 2 rotational DOF.
+inline constexpr double kGammaDiatomic = 7.0 / 5.0;
+
+// Sound speed for per-component thermal std dev sigma (= sqrt(RT)).
+double sound_speed(double sigma, double gamma = kGammaDiatomic);
+
+// --- Normal (Rankine–Hugoniot) shock relations, upstream normal Mach m1 ---
+double normal_shock_density_ratio(double m1, double gamma = kGammaDiatomic);
+double normal_shock_pressure_ratio(double m1, double gamma = kGammaDiatomic);
+double normal_shock_temperature_ratio(double m1,
+                                      double gamma = kGammaDiatomic);
+double normal_shock_downstream_mach(double m1, double gamma = kGammaDiatomic);
+
+// --- Oblique shocks ---
+// Flow deflection angle theta (radians) produced by a shock of wave angle
+// beta at upstream Mach m1 (the theta–beta–M relation).
+double deflection_angle(double beta, double m1, double gamma = kGammaDiatomic);
+
+// Weak-solution wave angle beta (radians) for deflection theta at Mach m1.
+// Throws std::domain_error if theta exceeds the maximum attached deflection.
+double oblique_shock_angle(double theta, double m1,
+                           double gamma = kGammaDiatomic);
+
+// Density ratio across an oblique shock of wave angle beta.
+double oblique_shock_density_ratio(double beta, double m1,
+                                   double gamma = kGammaDiatomic);
+
+// Downstream Mach number after an oblique shock (beta, theta known).
+double oblique_shock_downstream_mach(double beta, double theta, double m1,
+                                     double gamma = kGammaDiatomic);
+
+// --- Prandtl–Meyer expansion ---
+// Prandtl–Meyer function nu(M) in radians (M >= 1).
+double prandtl_meyer(double mach, double gamma = kGammaDiatomic);
+// Inverse: Mach number with nu(M) = nu (radians), Newton iteration.
+double mach_from_prandtl_meyer(double nu, double gamma = kGammaDiatomic);
+// Isentropic density ratio rho/rho0 as a function of Mach (stagnation ref).
+double isentropic_density_ratio(double mach, double gamma = kGammaDiatomic);
+
+// --- Kinetic theory ---
+// Mean molecular speed of a 3D Maxwellian with per-component std dev sigma.
+double maxwell_mean_speed(double sigma);
+// Kn = lambda / L.
+double knudsen_number(double lambda, double length);
+// Reynolds number estimate from Mach and Knudsen via the standard
+// Re = sqrt(gamma pi / 2) * M / Kn relation for a hard-sphere-like gas.
+double reynolds_from_mach_knudsen(double mach, double kn,
+                                  double gamma = kGammaDiatomic);
+
+}  // namespace cmdsmc::physics::theory

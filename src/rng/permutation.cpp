@@ -1,0 +1,35 @@
+#include "rng/permutation.h"
+
+#include <algorithm>
+
+namespace cmdsmc::rng {
+
+const std::array<PackedPerm, kPermCount>& perm_table() {
+  static const std::array<PackedPerm, kPermCount> table = [] {
+    std::array<PackedPerm, kPermCount> t{};
+    std::array<std::uint8_t, kPermElems> p = {0, 1, 2, 3, 4};
+    int idx = 0;
+    do {
+      t[idx++] = pack_perm(p);
+    } while (std::next_permutation(p.begin(), p.end()));
+    return t;
+  }();
+  return table;
+}
+
+int perm_rank(PackedPerm p) {
+  if (!perm_is_valid(p)) return -1;
+  const auto e = unpack_perm(p);
+  // Lehmer code -> factorial number system rank (lexicographic).
+  static constexpr int fact[5] = {24, 6, 2, 1, 1};
+  int rank = 0;
+  for (int k = 0; k < kPermElems - 1; ++k) {
+    int smaller_after = 0;
+    for (int m = k + 1; m < kPermElems; ++m)
+      if (e[m] < e[k]) ++smaller_after;
+    rank += smaller_after * fact[k];
+  }
+  return rank;
+}
+
+}  // namespace cmdsmc::rng

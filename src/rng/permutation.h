@@ -1,0 +1,94 @@
+// Five-element permutation vectors.
+//
+// Each particle carries a permutation of {0..4} as part of its computational
+// state; the collision kernel uses it to re-order the five relative velocity
+// components.  The paper initialises particles from a table of random
+// permutations held on the front end and refreshes them by one random
+// transposition per collision (Knuth shuffle step; Aldous & Diaconis show
+// n·log n transpositions fully decorrelate).
+//
+// A permutation is packed 3 bits per element into a uint16_t (15 bits).
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "rng/rng.h"
+
+namespace cmdsmc::rng {
+
+inline constexpr int kPermElems = 5;
+inline constexpr int kPermCount = 120;
+
+using PackedPerm = std::uint16_t;
+
+constexpr PackedPerm pack_perm(const std::array<std::uint8_t, kPermElems>& p) {
+  PackedPerm out = 0;
+  for (int k = 0; k < kPermElems; ++k)
+    out = static_cast<PackedPerm>(out | (p[k] & 7u) << (3 * k));
+  return out;
+}
+
+constexpr std::array<std::uint8_t, kPermElems> unpack_perm(PackedPerm p) {
+  std::array<std::uint8_t, kPermElems> out{};
+  for (int k = 0; k < kPermElems; ++k)
+    out[k] = static_cast<std::uint8_t>((p >> (3 * k)) & 7u);
+  return out;
+}
+
+constexpr PackedPerm identity_perm() {
+  return pack_perm({0, 1, 2, 3, 4});
+}
+
+// Element k of the packed permutation.
+constexpr unsigned perm_elem(PackedPerm p, int k) {
+  return (p >> (3 * k)) & 7u;
+}
+
+// Swaps elements i and j (the paper's "random transposition").
+constexpr PackedPerm transpose_perm(PackedPerm p, int i, int j) {
+  const unsigned a = perm_elem(p, i);
+  const unsigned b = perm_elem(p, j);
+  p = static_cast<PackedPerm>(p & ~(7u << (3 * i)) & ~(7u << (3 * j)));
+  p = static_cast<PackedPerm>(p | (b << (3 * i)) | (a << (3 * j)));
+  return p;
+}
+
+// out[k] = in[perm[k]].
+template <class T>
+constexpr void apply_perm(PackedPerm p, const T* in5, T* out5) {
+  for (int k = 0; k < kPermElems; ++k) out5[k] = in5[perm_elem(p, k)];
+}
+
+// True iff p encodes a permutation of {0..4}.
+constexpr bool perm_is_valid(PackedPerm p) {
+  unsigned seen = 0;
+  for (int k = 0; k < kPermElems; ++k) {
+    const unsigned e = perm_elem(p, k);
+    if (e >= kPermElems) return false;
+    seen |= 1u << e;
+  }
+  return seen == 0x1fu;
+}
+
+// The front-end table: all 120 permutations of {0..4}, lexicographic order.
+const std::array<PackedPerm, kPermCount>& perm_table();
+
+// Uniformly random entry from the table.
+inline PackedPerm random_perm(SplitMix64& g) {
+  return perm_table()[g.next_below(kPermCount)];
+}
+
+// One random transposition of p using bits from `bits` (6 bits consumed):
+// indices i, j drawn uniformly from {0..4} via rejection-free mapping.
+constexpr PackedPerm random_transposition(PackedPerm p, std::uint64_t bits) {
+  // Map 8-bit fields to [0,5) with negligible bias (255/5 buckets).
+  const int i = static_cast<int>(((bits & 0xffu) * 5u) >> 8);
+  const int j = static_cast<int>((((bits >> 8) & 0xffu) * 5u) >> 8);
+  return transpose_perm(p, i, j);
+}
+
+// Index of p in the canonical table, or -1 if invalid.  O(1) via Lehmer code.
+int perm_rank(PackedPerm p);
+
+}  // namespace cmdsmc::rng

@@ -1,0 +1,65 @@
+// Counter-based pseudo-random numbers.
+//
+// Every random decision in the simulation is a pure function of
+// (seed, stream id, step, salt), so runs are reproducible independently of
+// the thread count — the multicore analogue of the CM-2's per-processor
+// random state.
+#pragma once
+
+#include <cstdint>
+
+namespace cmdsmc::rng {
+
+// SplitMix64 finalizer: a high-quality 64-bit mixing function.
+constexpr std::uint64_t mix64(std::uint64_t z) {
+  z += 0x9e3779b97f4a7c15ull;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+// Stateless hash of a (seed, id, step, salt) tuple into 64 random bits.
+constexpr std::uint64_t hash4(std::uint64_t seed, std::uint64_t id,
+                              std::uint64_t step, std::uint64_t salt) {
+  std::uint64_t h = mix64(seed ^ 0x243f6a8885a308d3ull);
+  h = mix64(h ^ id);
+  h = mix64(h ^ (step + 0x452821e638d01377ull));
+  h = mix64(h ^ (salt * 0x9e3779b97f4a7c15ull + 1));
+  return h;
+}
+
+// Small sequential generator seeded from any 64-bit value (SplitMix64).
+class SplitMix64 {
+ public:
+  explicit constexpr SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  constexpr std::uint64_t next_u64() {
+    state_ += 0x9e3779b97f4a7c15ull;
+    return mix64(state_ - 0x9e3779b97f4a7c15ull + state_);
+  }
+  constexpr std::uint32_t next_u32() {
+    return static_cast<std::uint32_t>(next_u64() >> 32);
+  }
+  // Uniform in [0, 1).
+  double next_double() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+  // Uniform integer in [0, bound) (Lemire's method).
+  std::uint32_t next_below(std::uint32_t bound) {
+    const std::uint64_t m =
+        static_cast<std::uint64_t>(next_u32()) * static_cast<std::uint64_t>(bound);
+    return static_cast<std::uint32_t>(m >> 32);
+  }
+  // +1 or -1 with equal probability.
+  double next_sign() { return (next_u64() & 1) ? 1.0 : -1.0; }
+
+ private:
+  std::uint64_t state_;
+};
+
+// Convenience: uniform double in [0,1) from raw bits.
+inline double u64_to_unit_double(std::uint64_t bits) {
+  return static_cast<double>(bits >> 11) * 0x1.0p-53;
+}
+
+}  // namespace cmdsmc::rng

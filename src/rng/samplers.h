@@ -1,0 +1,46 @@
+// Velocity distribution samplers: Maxwellian (Gaussian per component),
+// the paper's rectangular (uniform with matched variance) reservoir
+// distribution, and half-range flux samplers for diffuse walls and soft
+// upstream sources.
+#pragma once
+
+#include <cmath>
+#include <numbers>
+
+#include "rng/rng.h"
+
+namespace cmdsmc::rng {
+
+// Standard normal via Box-Muller; consumes two uniforms.
+inline double sample_gaussian(SplitMix64& g) {
+  double u1 = g.next_double();
+  double u2 = g.next_double();
+  if (u1 <= 0.0) u1 = 0x1.0p-53;
+  return std::sqrt(-2.0 * std::log(u1)) *
+         std::cos(2.0 * std::numbers::pi * u2);
+}
+
+// Uniform on [-a, a] with variance sigma^2 requires a = sigma * sqrt(3).
+// This is the paper's "rectangular distribution with the same variance as
+// the freestream" used for particles entering the reservoir.
+inline double sample_rectangular(SplitMix64& g, double sigma) {
+  const double a = sigma * std::sqrt(3.0);
+  return a * (2.0 * g.next_double() - 1.0);
+}
+
+// Positive half-Maxwellian speed component, distribution f(v) ∝ v exp(-v²/2σ²)
+// (flux-weighted wall-normal component for diffuse re-emission).  Sampled by
+// inversion: v = σ sqrt(-2 ln u).
+inline double sample_flux_normal(SplitMix64& g, double sigma) {
+  double u = g.next_double();
+  if (u <= 0.0) u = 0x1.0p-53;
+  return sigma * std::sqrt(-2.0 * std::log(u));
+}
+
+// Mean molecular speed of a 3D Maxwellian with per-component std dev sigma:
+// <|c|> = 2 sigma sqrt(2/pi).
+inline double mean_speed(double sigma) {
+  return 2.0 * sigma * std::sqrt(2.0 / std::numbers::pi);
+}
+
+}  // namespace cmdsmc::rng

@@ -1,0 +1,188 @@
+// The comparator collision schemes the paper discusses: Bird's per-cell
+// time counter and Nanbu's one-sided scheme.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "baseline/bird_tc.h"
+#include "baseline/nanbu.h"
+#include "rng/rng.h"
+#include "rng/samplers.h"
+
+namespace baseline = cmdsmc::baseline;
+namespace core = cmdsmc::core;
+namespace cmdp = cmdsmc::cmdp;
+namespace geom = cmdsmc::geom;
+
+namespace {
+
+core::ParticleStore<double> equilibrium_gas(const geom::Grid& grid,
+                                            double ppc, double sigma,
+                                            std::uint64_t seed) {
+  core::ParticleStore<double> s;
+  const auto n = static_cast<std::size_t>(ppc * grid.ncells());
+  s.resize(n);
+  cmdsmc::rng::SplitMix64 g(seed);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double x = g.next_double() * grid.nx;
+    const double y = g.next_double() * grid.ny;
+    s.x[i] = x;
+    s.y[i] = y;
+    s.ux[i] = sigma * cmdsmc::rng::sample_gaussian(g);
+    s.uy[i] = sigma * cmdsmc::rng::sample_gaussian(g);
+    s.uz[i] = sigma * cmdsmc::rng::sample_gaussian(g);
+    s.r0[i] = sigma * cmdsmc::rng::sample_gaussian(g);
+    s.r1[i] = sigma * cmdsmc::rng::sample_gaussian(g);
+    s.cell[i] = grid.index(static_cast<int>(x), static_cast<int>(y));
+  }
+  return s;
+}
+
+double total_energy(const core::ParticleStore<double>& s) {
+  double e = 0.0;
+  for (std::size_t i = 0; i < s.size(); ++i)
+    e += 0.5 * (s.ux[i] * s.ux[i] + s.uy[i] * s.uy[i] + s.uz[i] * s.uz[i] +
+                s.r0[i] * s.r0[i] + s.r1[i] * s.r1[i]);
+  return e;
+}
+
+double momentum_x(const core::ParticleStore<double>& s) {
+  double p = 0.0;
+  for (std::size_t i = 0; i < s.size(); ++i) p += s.ux[i];
+  return p;
+}
+
+double ux_kurtosis(const core::ParticleStore<double>& s) {
+  double m2 = 0.0, m4 = 0.0;
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    m2 += s.ux[i] * s.ux[i];
+    m4 += s.ux[i] * s.ux[i] * s.ux[i] * s.ux[i];
+  }
+  m2 /= static_cast<double>(s.size());
+  m4 /= static_cast<double>(s.size());
+  return m4 / (m2 * m2);
+}
+
+}  // namespace
+
+TEST(BirdTimeCounter, ConservesEnergyAndMomentumExactly) {
+  cmdp::ThreadPool pool(4);
+  geom::Grid grid{8, 8, 0};
+  auto gas = equilibrium_gas(grid, 40.0, 0.2, 1);
+  baseline::BaselineConfig cfg;
+  cfg.pc_inf = 0.5;
+  cfg.n_inf = 40.0;
+  baseline::BirdTimeCounter bird(grid, cfg);
+  const double e0 = total_energy(gas);
+  const double p0 = momentum_x(gas);
+  for (int s = 0; s < 20; ++s) bird.collision_step(pool, gas);
+  EXPECT_GT(bird.collisions(), 0u);
+  EXPECT_NEAR(total_energy(gas) / e0, 1.0, 1e-12);
+  EXPECT_NEAR(momentum_x(gas), p0, 1e-9);
+}
+
+TEST(BirdTimeCounter, CollisionRateMatchesTheCalibration) {
+  cmdp::ThreadPool pool(4);
+  geom::Grid grid{8, 8, 0};
+  const double ppc = 40.0;
+  auto gas = equilibrium_gas(grid, ppc, 0.2, 2);
+  baseline::BaselineConfig cfg;
+  cfg.pc_inf = 0.4;
+  cfg.n_inf = ppc;
+  baseline::BirdTimeCounter bird(grid, cfg);
+  const int steps = 30;
+  for (int s = 0; s < steps; ++s) bird.collision_step(pool, gas);
+  // At n = n_inf the per-particle collision frequency should be pc_inf per
+  // step: expected collisions = N * pc_inf / 2 per step.
+  const double expected =
+      static_cast<double>(gas.size()) * cfg.pc_inf * steps / 2.0;
+  EXPECT_NEAR(static_cast<double>(bird.collisions()), expected,
+              0.1 * expected);
+}
+
+TEST(BirdTimeCounter, RelaxesRectangularToMaxwellian) {
+  cmdp::ThreadPool pool(4);
+  geom::Grid grid{6, 6, 0};
+  auto gas = equilibrium_gas(grid, 60.0, 0.2, 3);
+  cmdsmc::rng::SplitMix64 g(4);
+  for (std::size_t i = 0; i < gas.size(); ++i) {
+    gas.ux[i] = cmdsmc::rng::sample_rectangular(g, 0.2);
+    gas.uy[i] = cmdsmc::rng::sample_rectangular(g, 0.2);
+    gas.uz[i] = cmdsmc::rng::sample_rectangular(g, 0.2);
+  }
+  baseline::BaselineConfig cfg;
+  cfg.pc_inf = 1.0;
+  cfg.n_inf = 60.0;
+  baseline::BirdTimeCounter bird(grid, cfg);
+  EXPECT_NEAR(ux_kurtosis(gas), 1.8, 0.1);
+  for (int s = 0; s < 25; ++s) bird.collision_step(pool, gas);
+  EXPECT_NEAR(ux_kurtosis(gas), 3.0, 0.2);
+}
+
+TEST(Nanbu, ConservesOnlyInTheMean) {
+  cmdp::ThreadPool pool(4);
+  geom::Grid grid{8, 8, 0};
+  auto gas = equilibrium_gas(grid, 40.0, 0.2, 5);
+  baseline::BaselineConfig cfg;
+  cfg.pc_inf = 0.5;
+  cfg.n_inf = 40.0;
+  baseline::NanbuScheme nanbu(grid, cfg);
+  const double e0 = total_energy(gas);
+  for (int s = 0; s < 20; ++s) nanbu.collision_step(pool, gas);
+  EXPECT_GT(nanbu.collisions(), 0u);
+  const double rel_drift = std::abs(total_energy(gas) / e0 - 1.0);
+  // Not exactly conservative (unlike Bird/Baganoff)...
+  EXPECT_GT(rel_drift, 1e-9);
+  // ...but statistically stationary: drift stays within a few percent.
+  EXPECT_LT(rel_drift, 0.05);
+}
+
+TEST(Nanbu, PreservesEquilibriumTemperature) {
+  cmdp::ThreadPool pool(4);
+  geom::Grid grid{8, 8, 0};
+  auto gas = equilibrium_gas(grid, 40.0, 0.2, 6);
+  baseline::BaselineConfig cfg;
+  cfg.pc_inf = 0.5;
+  cfg.n_inf = 40.0;
+  baseline::NanbuScheme nanbu(grid, cfg);
+  for (int s = 0; s < 40; ++s) nanbu.collision_step(pool, gas);
+  double m2 = 0.0;
+  for (std::size_t i = 0; i < gas.size(); ++i) m2 += gas.ux[i] * gas.ux[i];
+  m2 /= static_cast<double>(gas.size());
+  EXPECT_NEAR(m2, 0.04, 0.004);  // sigma^2 = 0.2^2
+}
+
+TEST(Nanbu, RelaxesRectangularToMaxwellian) {
+  cmdp::ThreadPool pool(4);
+  geom::Grid grid{6, 6, 0};
+  auto gas = equilibrium_gas(grid, 60.0, 0.2, 7);
+  cmdsmc::rng::SplitMix64 g(8);
+  for (std::size_t i = 0; i < gas.size(); ++i) {
+    gas.ux[i] = cmdsmc::rng::sample_rectangular(g, 0.2);
+    gas.uy[i] = cmdsmc::rng::sample_rectangular(g, 0.2);
+    gas.uz[i] = cmdsmc::rng::sample_rectangular(g, 0.2);
+  }
+  baseline::BaselineConfig cfg;
+  cfg.pc_inf = 1.0;
+  cfg.n_inf = 60.0;
+  baseline::NanbuScheme nanbu(grid, cfg);
+  for (int s = 0; s < 40; ++s) nanbu.collision_step(pool, gas);
+  EXPECT_NEAR(ux_kurtosis(gas), 3.0, 0.25);
+}
+
+TEST(Baselines, EmptyAndSingletonCellsAreHandled) {
+  cmdp::ThreadPool pool(2);
+  geom::Grid grid{4, 4, 0};
+  core::ParticleStore<double> gas;
+  // One particle alone in one cell: nothing may collide, nothing may crash.
+  gas.push_back(0.5, 0.5, 0, 0.1, 0, 0, 0, 0, cmdsmc::rng::identity_perm());
+  gas.cell.back() = grid.index(0, 0);
+  baseline::BaselineConfig cfg;
+  baseline::BirdTimeCounter bird(grid, cfg);
+  baseline::NanbuScheme nanbu(grid, cfg);
+  bird.collision_step(pool, gas);
+  nanbu.collision_step(pool, gas);
+  EXPECT_EQ(bird.collisions(), 0u);
+  EXPECT_EQ(nanbu.collisions(), 0u);
+  EXPECT_DOUBLE_EQ(gas.ux[0], 0.1);
+}

@@ -1,0 +1,202 @@
+#include "geom/boundary.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "rng/rng.h"
+
+namespace geom = cmdsmc::geom;
+
+namespace {
+
+constexpr double kRad = std::numbers::pi / 180.0;
+
+geom::BoundaryConfig tunnel() {
+  geom::BoundaryConfig bc;
+  bc.x_max = 98.0;
+  bc.y_max = 64.0;
+  return bc;
+}
+
+double speed2(const geom::ParticleState& p) {
+  return p.ux * p.ux + p.uy * p.uy + p.uz * p.uz;
+}
+
+double energy(const geom::ParticleState& p) {
+  return 0.5 * (speed2(p) + p.r0 * p.r0 + p.r1 * p.r1);
+}
+
+}  // namespace
+
+TEST(Boundary, InteriorParticleUntouched) {
+  auto bc = tunnel();
+  geom::ParticleState p{50, 30, 0, 0.5, -0.2, 0.1, 0.3, -0.4};
+  const auto before = p;
+  EXPECT_TRUE(geom::enforce_boundaries(p, bc, 0));
+  EXPECT_EQ(p.x, before.x);
+  EXPECT_EQ(p.uy, before.uy);
+}
+
+TEST(Boundary, FloorReflectsSpecularly) {
+  auto bc = tunnel();
+  geom::ParticleState p{50, -0.3, 0, 0.5, -0.6, 0, 0, 0};
+  EXPECT_TRUE(geom::enforce_boundaries(p, bc, 0));
+  EXPECT_NEAR(p.y, 0.3, 1e-12);
+  EXPECT_NEAR(p.uy, 0.6, 1e-12);
+  EXPECT_NEAR(p.ux, 0.5, 1e-12);  // tangential untouched
+}
+
+TEST(Boundary, CeilingReflectsSpecularly) {
+  auto bc = tunnel();
+  geom::ParticleState p{50, 64.4, 0, 0.5, 0.8, 0, 0, 0};
+  EXPECT_TRUE(geom::enforce_boundaries(p, bc, 0));
+  EXPECT_NEAR(p.y, 63.6, 1e-12);
+  EXPECT_NEAR(p.uy, -0.8, 1e-12);
+}
+
+TEST(Boundary, DownstreamSinkRemovesParticle) {
+  auto bc = tunnel();
+  geom::ParticleState p{98.5, 30, 0, 0.9, 0, 0, 0, 0};
+  EXPECT_FALSE(geom::enforce_boundaries(p, bc, 0));
+}
+
+TEST(Boundary, ClosedBoxReflectsAtDownstreamPlane) {
+  auto bc = tunnel();
+  bc.closed = true;
+  geom::ParticleState p{98.5, 30, 0, 0.9, 0, 0, 0, 0};
+  EXPECT_TRUE(geom::enforce_boundaries(p, bc, 0));
+  EXPECT_NEAR(p.x, 97.5, 1e-12);
+  EXPECT_NEAR(p.ux, -0.9, 1e-12);
+}
+
+TEST(Boundary, UpstreamFixedWallReflects) {
+  auto bc = tunnel();
+  geom::ParticleState p{-0.2, 30, 0, -0.5, 0, 0, 0, 0};
+  EXPECT_TRUE(geom::enforce_boundaries(p, bc, 0));
+  EXPECT_NEAR(p.x, 0.2, 1e-12);
+  EXPECT_NEAR(p.ux, 0.5, 1e-12);
+}
+
+TEST(Boundary, MovingPlungerReflectsInWallFrame) {
+  auto bc = tunnel();
+  bc.plunger_active = true;
+  bc.plunger_x = 2.0;
+  bc.plunger_speed = 0.8;
+  // Particle slower than the plunger gets run over: u' = 2 U - u.
+  geom::ParticleState p{1.5, 30, 0, 0.1, 0, 0, 0, 0};
+  EXPECT_TRUE(geom::enforce_boundaries(p, bc, 0));
+  EXPECT_NEAR(p.x, 2.5, 1e-12);
+  EXPECT_NEAR(p.ux, 1.5, 1e-12);
+  // A particle already outrunning the plunger keeps its velocity.
+  geom::ParticleState q{1.9, 30, 0, 2.0, 0, 0, 0, 0};
+  EXPECT_TRUE(geom::enforce_boundaries(q, bc, 0));
+  EXPECT_NEAR(q.ux, 2.0, 1e-12);
+  EXPECT_NEAR(q.x, 2.1, 1e-12);
+}
+
+TEST(Boundary, WedgeSpecularPreservesSpeedAndEjects) {
+  auto bc = tunnel();
+  geom::Wedge w(20.0, 25.0, 30.0 * kRad);
+  bc.wedge = &w;
+  cmdsmc::rng::SplitMix64 g(41);
+  for (int trial = 0; trial < 500; ++trial) {
+    // Random point slightly inside the wedge near the ramp.
+    const double x = 21.0 + g.next_double() * 23.0;
+    const double y = w.surface_y(x) - 0.05 - 0.1 * g.next_double();
+    if (y <= 0.0) continue;
+    geom::ParticleState p{x, y, 0, 0.5, -0.5, 0.1, 0.2, 0.3};
+    const double s2 = speed2(p);
+    ASSERT_TRUE(geom::enforce_boundaries(p, bc, 0));
+    ASSERT_FALSE(w.inside(p.x, p.y)) << p.x << "," << p.y;
+    ASSERT_NEAR(speed2(p), s2, 1e-9);
+  }
+}
+
+TEST(Boundary, WedgeBackFaceReflectsHorizontally) {
+  auto bc = tunnel();
+  geom::Wedge w(20.0, 25.0, 30.0 * kRad);
+  bc.wedge = &w;
+  geom::ParticleState p{44.9, 2.0, 0, -0.4, 0.0, 0, 0, 0};
+  EXPECT_TRUE(geom::enforce_boundaries(p, bc, 0));
+  EXPECT_NEAR(p.x, 45.1, 1e-9);
+  EXPECT_NEAR(p.ux, 0.4, 1e-12);
+}
+
+TEST(Boundary, LeadingEdgeCornerIsHandled) {
+  auto bc = tunnel();
+  geom::Wedge w(20.0, 25.0, 30.0 * kRad);
+  bc.wedge = &w;
+  // A particle that dives below the floor right at the wedge leading edge:
+  // needs the floor reflection then possibly a wedge reflection.
+  geom::ParticleState p{20.2, -0.05, 0, 0.7, -0.3, 0, 0, 0};
+  EXPECT_TRUE(geom::enforce_boundaries(p, bc, 0));
+  EXPECT_GE(p.y, 0.0);
+  EXPECT_FALSE(w.inside(p.x, p.y));
+}
+
+TEST(Boundary, DiffuseIsothermalReemitsOutward) {
+  auto bc = tunnel();
+  geom::Wedge w(20.0, 25.0, 30.0 * kRad);
+  bc.wedge = &w;
+  bc.wall = geom::WallModel::kDiffuseIsothermal;
+  bc.wall_sigma = 0.25;
+  const double nx = -std::sin(30.0 * kRad);
+  const double ny = std::cos(30.0 * kRad);
+  cmdsmc::rng::SplitMix64 g(42);
+  for (int trial = 0; trial < 300; ++trial) {
+    const double x = 25.0 + g.next_double() * 15.0;
+    const double y = w.surface_y(x) - 0.05;
+    geom::ParticleState p{x, y, 0, 0.8, -0.4, 0, 0.1, 0.1};
+    ASSERT_TRUE(geom::enforce_boundaries(p, bc, g.next_u64()));
+    ASSERT_FALSE(w.inside(p.x, p.y));
+    // Outgoing: velocity has a positive component along the outward normal.
+    EXPECT_GT(p.ux * nx + p.uy * ny, 0.0);
+  }
+}
+
+TEST(Boundary, DiffuseAdiabaticPreservesParticleEnergy) {
+  auto bc = tunnel();
+  geom::Wedge w(20.0, 25.0, 30.0 * kRad);
+  bc.wedge = &w;
+  bc.wall = geom::WallModel::kDiffuseAdiabatic;
+  bc.wall_sigma = 0.25;
+  cmdsmc::rng::SplitMix64 g(43);
+  for (int trial = 0; trial < 300; ++trial) {
+    const double x = 25.0 + g.next_double() * 15.0;
+    const double y = w.surface_y(x) - 0.05;
+    geom::ParticleState p{x, y, 0, 0.8, -0.4, 0.2, 0.1, -0.3};
+    const double e = energy(p);
+    ASSERT_TRUE(geom::enforce_boundaries(p, bc, g.next_u64()));
+    ASSERT_NEAR(energy(p), e, 1e-9);
+  }
+}
+
+TEST(Boundary, ZWallsReflectIn3D) {
+  auto bc = tunnel();
+  bc.z_max = 16.0;
+  geom::ParticleState p{50, 30, -0.4, 0, 0, -0.3, 0, 0};
+  EXPECT_TRUE(geom::enforce_boundaries(p, bc, 0));
+  EXPECT_NEAR(p.z, 0.4, 1e-12);
+  EXPECT_NEAR(p.uz, 0.3, 1e-12);
+  geom::ParticleState q{50, 30, 16.5, 0, 0, 0.7, 0, 0};
+  EXPECT_TRUE(geom::enforce_boundaries(q, bc, 0));
+  EXPECT_NEAR(q.z, 15.5, 1e-12);
+  EXPECT_NEAR(q.uz, -0.7, 1e-12);
+}
+
+TEST(Plunger, AdvanceAndRetract) {
+  geom::Plunger pl;
+  pl.speed = 0.8;
+  pl.trigger = 3.0;
+  double width = 0.0;
+  int steps = 0;
+  while (width == 0.0 && steps < 10) {
+    width = pl.advance();
+    ++steps;
+  }
+  EXPECT_EQ(steps, 4);  // 0.8 * 4 = 3.2 >= 3.0
+  EXPECT_NEAR(width, 3.2, 1e-12);
+  EXPECT_EQ(pl.x, 0.0);
+}

@@ -1,0 +1,132 @@
+#include "cmdp/sort.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+#include "rng/rng.h"
+
+namespace cmdp = cmdsmc::cmdp;
+
+namespace {
+
+std::vector<std::uint32_t> random_keys(std::size_t n, std::uint32_t bound,
+                                       std::uint64_t seed) {
+  cmdsmc::rng::SplitMix64 g(seed);
+  std::vector<std::uint32_t> keys(n);
+  for (auto& k : keys) k = g.next_below(bound);
+  return keys;
+}
+
+// Reference stable order via std::stable_sort of indices.
+std::vector<std::uint32_t> reference_order(
+    const std::vector<std::uint32_t>& keys) {
+  std::vector<std::uint32_t> idx(keys.size());
+  std::iota(idx.begin(), idx.end(), 0u);
+  std::stable_sort(idx.begin(), idx.end(),
+                   [&](std::uint32_t a, std::uint32_t b) {
+                     return keys[a] < keys[b];
+                   });
+  return idx;
+}
+
+struct SortCase {
+  std::size_t n;
+  std::uint32_t bound;
+};
+
+class SortCases : public ::testing::TestWithParam<SortCase> {};
+
+}  // namespace
+
+TEST_P(SortCases, CountingSortMatchesStableReference) {
+  const auto [n, bound] = GetParam();
+  if (bound > (1u << 21)) GTEST_SKIP() << "direct counting sort only";
+  cmdp::ThreadPool pool(6);
+  const auto keys = random_keys(n, bound, 1000 + n);
+  std::vector<std::uint32_t> order(n);
+  cmdp::counting_sort_index(pool, keys, bound, order);
+  EXPECT_EQ(order, reference_order(keys));
+}
+
+TEST_P(SortCases, StableSortMatchesStableReference) {
+  const auto [n, bound] = GetParam();
+  cmdp::ThreadPool pool(6);
+  const auto keys = random_keys(n, bound, 2000 + n);
+  std::vector<std::uint32_t> order(n);
+  cmdp::stable_sort_index(pool, keys, bound, order);
+  EXPECT_EQ(order, reference_order(keys));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, SortCases,
+    ::testing::Values(SortCase{0, 16}, SortCase{1, 16}, SortCase{100, 4},
+                      SortCase{5000, 1}, SortCase{10000, 65536},
+                      SortCase{100000, 50000}, SortCase{200000, 7},
+                      // radix path: key bound beyond the direct threshold
+                      SortCase{100000, 1u << 24},
+                      SortCase{65536, 0xffffffffu}));
+
+TEST(Sort, OrderIsPermutation) {
+  cmdp::ThreadPool pool(4);
+  const auto keys = random_keys(77777, 997, 3);
+  std::vector<std::uint32_t> order(keys.size());
+  cmdp::counting_sort_index(pool, keys, 997, order);
+  EXPECT_TRUE(cmdp::is_permutation_of_iota(order));
+}
+
+TEST(Sort, KeysAscendingAfterGather) {
+  cmdp::ThreadPool pool(4);
+  const auto keys = random_keys(50000, 1234, 4);
+  std::vector<std::uint32_t> order(keys.size());
+  cmdp::counting_sort_index(pool, keys, 1234, order);
+  std::vector<std::uint32_t> sorted(keys.size());
+  cmdp::gather<std::uint32_t>(pool, keys, order, sorted);
+  EXPECT_TRUE(std::is_sorted(sorted.begin(), sorted.end()));
+}
+
+TEST(Histogram, MatchesDirectCount) {
+  cmdp::ThreadPool pool(5);
+  const std::uint32_t bound = 321;
+  const auto keys = random_keys(98765, bound, 5);
+  std::vector<std::uint32_t> counts(bound);
+  cmdp::histogram(pool, keys, bound, counts);
+  std::vector<std::uint32_t> ref(bound, 0);
+  for (auto k : keys) ++ref[k];
+  EXPECT_EQ(counts, ref);
+}
+
+TEST(Histogram, EmptyInput) {
+  cmdp::ThreadPool pool(2);
+  std::vector<std::uint32_t> keys;
+  std::vector<std::uint32_t> counts(10, 99);
+  cmdp::histogram(pool, keys, 10, counts);
+  for (auto c : counts) EXPECT_EQ(c, 0u);
+}
+
+TEST(GatherScatter, AreInverses) {
+  cmdp::ThreadPool pool(4);
+  const std::size_t n = 60000;
+  cmdsmc::rng::SplitMix64 g(6);
+  std::vector<double> data(n);
+  for (auto& d : data) d = g.next_double();
+  // A random permutation via sorting random keys.
+  const auto keys = random_keys(n, 1u << 20, 7);
+  std::vector<std::uint32_t> order(n);
+  cmdp::counting_sort_index(pool, keys, 1u << 20, order);
+  std::vector<double> permuted(n), roundtrip(n);
+  cmdp::gather<double>(pool, data, order, permuted);
+  cmdp::scatter<double>(pool, permuted, order, roundtrip);
+  EXPECT_EQ(roundtrip, data);
+}
+
+TEST(Sort, IsPermutationDetectsCorruption) {
+  std::vector<std::uint32_t> good = {2, 0, 1, 3};
+  EXPECT_TRUE(cmdp::is_permutation_of_iota(good));
+  std::vector<std::uint32_t> dup = {2, 0, 0, 3};
+  EXPECT_FALSE(cmdp::is_permutation_of_iota(dup));
+  std::vector<std::uint32_t> oob = {2, 0, 1, 4};
+  EXPECT_FALSE(cmdp::is_permutation_of_iota(oob));
+}

@@ -1,0 +1,137 @@
+#include "fixedpoint/fixed32.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "rng/rng.h"
+
+using cmdsmc::fixedpoint::Fixed32;
+using cmdsmc::fixedpoint::dirty_bits;
+using cmdsmc::fixedpoint::half_stochastic;
+using cmdsmc::fixedpoint::half_truncate;
+
+TEST(Fixed32, RoundTripConversion) {
+  for (double v : {0.0, 1.0, -1.0, 0.5, -0.5, 97.25, -127.125, 3.1415926}) {
+    const Fixed32 f = Fixed32::from_double(v);
+    EXPECT_NEAR(f.to_double(), v, 1.0 / (1 << 23)) << v;
+  }
+}
+
+TEST(Fixed32, ResolutionIsTwoToMinus23) {
+  const Fixed32 eps = Fixed32::from_raw(1);
+  EXPECT_DOUBLE_EQ(eps.to_double(), std::ldexp(1.0, -23));
+  // 23 fraction bits beats the IEEE single-precision mantissa granularity at
+  // magnitude 1 (the paper's comparison).
+  EXPECT_LE(eps.to_double(), std::ldexp(1.0, -23));
+}
+
+TEST(Fixed32, AdditionSubtractionExact) {
+  cmdsmc::rng::SplitMix64 g(1);
+  for (int i = 0; i < 1000; ++i) {
+    const double a = (g.next_double() - 0.5) * 100.0;
+    const double b = (g.next_double() - 0.5) * 100.0;
+    const Fixed32 fa = Fixed32::from_double(a);
+    const Fixed32 fb = Fixed32::from_double(b);
+    // Fixed-point addition is exact: result equals the sum of the raws.
+    EXPECT_EQ((fa + fb).raw, fa.raw + fb.raw);
+    EXPECT_EQ((fa - fb).raw, fa.raw - fb.raw);
+    EXPECT_EQ((-fa).raw, -fa.raw);
+  }
+}
+
+TEST(Fixed32, CompoundAssignment) {
+  Fixed32 a = Fixed32::from_double(1.5);
+  a += Fixed32::from_double(0.25);
+  EXPECT_DOUBLE_EQ(a.to_double(), 1.75);
+  a -= Fixed32::from_double(2.0);
+  EXPECT_DOUBLE_EQ(a.to_double(), -0.25);
+}
+
+TEST(Fixed32, Comparisons) {
+  const Fixed32 a = Fixed32::from_double(1.0);
+  const Fixed32 b = Fixed32::from_double(2.0);
+  EXPECT_LT(a, b);
+  EXPECT_EQ(a, Fixed32::from_double(1.0));
+  EXPECT_GT(b, a);
+}
+
+TEST(Fixed32, MulRoundsToNearest) {
+  const Fixed32 a = Fixed32::from_double(3.0);
+  const Fixed32 b = Fixed32::from_double(0.5);
+  EXPECT_DOUBLE_EQ(mul(a, b).to_double(), 1.5);
+  const Fixed32 c = Fixed32::from_double(-2.25);
+  EXPECT_DOUBLE_EQ(mul(c, b).to_double(), -1.125);
+}
+
+TEST(Fixed32, TruncatingHalveRoundsTowardZero) {
+  // 3 raw units / 2 -> 1 (loses half an ulp of magnitude)
+  EXPECT_EQ(half_truncate(Fixed32::from_raw(3)).raw, 1);
+  // -3 raw units / 2 -> -1 (also loses magnitude: the systematic energy sink)
+  EXPECT_EQ(half_truncate(Fixed32::from_raw(-3)).raw, -1);
+  // Even values halve exactly.
+  EXPECT_EQ(half_truncate(Fixed32::from_raw(8)).raw, 4);
+  EXPECT_EQ(half_truncate(Fixed32::from_raw(-8)).raw, -4);
+}
+
+TEST(Fixed32, StochasticHalveIsExactInExpectation) {
+  // For an odd raw value v, (v+0)>>1 and (v+1)>>1 bracket v/2; averaging the
+  // two bit choices gives exactly v/2.
+  for (std::int32_t v : {3, 5, -3, -5, 101, -999}) {
+    const double lo = half_stochastic(Fixed32::from_raw(v), 0).raw;
+    const double hi = half_stochastic(Fixed32::from_raw(v), 1).raw;
+    EXPECT_DOUBLE_EQ(0.5 * (lo + hi), v / 2.0) << v;
+  }
+}
+
+TEST(Fixed32, StochasticHalveMatchesTruncateOnEvenValues) {
+  for (std::int32_t v : {4, -4, 1024, -65536}) {
+    EXPECT_EQ(half_stochastic(Fixed32::from_raw(v), 0).raw,
+              half_truncate(Fixed32::from_raw(v)).raw);
+    EXPECT_EQ(half_stochastic(Fixed32::from_raw(v), 1).raw,
+              half_truncate(Fixed32::from_raw(v)).raw);
+  }
+}
+
+TEST(Fixed32, TruncatingHalvingShrinksMagnitudeStochasticDoesNot) {
+  // The paper's observation in miniature: truncated halving systematically
+  // shrinks magnitudes (energy), stochastic rounding is unbiased.
+  cmdsmc::rng::SplitMix64 g(2);
+  double trunc_mag = 0.0;
+  double stoch_val = 0.0;
+  const int kTrials = 20000;
+  for (int t = 0; t < kTrials; ++t) {
+    const auto raw = static_cast<std::int32_t>(g.next_below(1 << 20)) -
+                     (1 << 19);
+    const double exact = raw / 2.0;
+    trunc_mag +=
+        std::abs(static_cast<double>(half_truncate(Fixed32::from_raw(raw)).raw)) -
+        std::abs(exact);
+    stoch_val +=
+        half_stochastic(Fixed32::from_raw(raw), g.next_u64() & 1).raw - exact;
+  }
+  trunc_mag /= kTrials;
+  stoch_val /= kTrials;
+  EXPECT_LT(trunc_mag, -0.2);          // ~ -0.25 ulp magnitude bias
+  EXPECT_NEAR(stoch_val, 0.0, 0.02);   // unbiased in value
+}
+
+TEST(Fixed32, DirtyBitsExtractLowOrderBits) {
+  const Fixed32 v = Fixed32::from_raw(0b1011011);
+  EXPECT_EQ(dirty_bits(v, 3), 0b011u);
+  EXPECT_EQ(dirty_bits(v, 7), 0b1011011u);
+  EXPECT_EQ(dirty_bits(Fixed32::from_raw(-1), 5), 31u);
+}
+
+TEST(Fixed32, DirtyBitsOfThermalStatesLookUniformEnough) {
+  // Low bits of a Gaussian-ish population should be close to uniform: the
+  // paper's justification for the "quick but dirty" source.
+  cmdsmc::rng::SplitMix64 g(3);
+  int ones = 0;
+  const int kTrials = 40000;
+  for (int t = 0; t < kTrials; ++t) {
+    const Fixed32 v = Fixed32::from_double((g.next_double() - 0.5) * 2.0);
+    ones += dirty_bits(v, 1);
+  }
+  EXPECT_NEAR(static_cast<double>(ones) / kTrials, 0.5, 0.02);
+}

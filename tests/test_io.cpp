@@ -1,0 +1,131 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "io/contour.h"
+#include "io/csv.h"
+
+namespace io = cmdsmc::io;
+namespace core = cmdsmc::core;
+
+namespace {
+
+core::FieldStats make_field(int nx, int ny) {
+  core::FieldStats f;
+  f.grid = {nx, ny, 0};
+  f.samples = 1;
+  const auto n = static_cast<std::size_t>(nx * ny);
+  f.density.assign(n, 0.0);
+  f.ux.assign(n, 0.0);
+  f.uy.assign(n, 0.0);
+  f.t_trans.assign(n, 0.0);
+  f.t_rot.assign(n, 0.0);
+  f.t_total.assign(n, 0.0);
+  f.mean_count.assign(n, 0.0);
+  return f;
+}
+
+}  // namespace
+
+TEST(Contour, RendersExpectedShapeAndGlyphs) {
+  auto f = make_field(4, 2);
+  // Bottom row: low values; top row: high values.
+  for (int ix = 0; ix < 4; ++ix) {
+    f.density[f.grid.index(ix, 0)] = 0.0;
+    f.density[f.grid.index(ix, 1)] = 4.0;
+  }
+  io::ContourOptions opt;
+  opt.vmin = 0.0;
+  opt.vmax = 4.0;
+  const std::string map = io::render_ascii(f, f.density, opt);
+  // Two rows of four glyphs plus newlines; y increases upward so the high
+  // row prints first.
+  EXPECT_EQ(map, "@@@@\n    \n");
+}
+
+TEST(Contour, ClampsOutOfRangeValues) {
+  auto f = make_field(2, 1);
+  f.density[0] = -5.0;
+  f.density[1] = 99.0;
+  io::ContourOptions opt;
+  opt.vmin = 0.0;
+  opt.vmax = 1.0;
+  const std::string map = io::render_ascii(f, f.density, opt);
+  EXPECT_EQ(map, " @\n");
+}
+
+TEST(Contour, WindowSelectsSubregion) {
+  auto f = make_field(10, 10);
+  f.density[f.grid.index(5, 5)] = 1.0;
+  io::ContourOptions opt;
+  opt.vmin = 0.0;
+  opt.vmax = 1.0;
+  opt.x0 = 5;
+  opt.y0 = 5;
+  opt.x1 = 6;
+  opt.y1 = 6;
+  EXPECT_EQ(io::render_ascii(f, f.density, opt), "@\n");
+}
+
+TEST(Contour, Profiles) {
+  auto f = make_field(3, 4);
+  for (int iy = 0; iy < 4; ++iy)
+    f.density[f.grid.index(1, iy)] = iy * 1.0;
+  const auto col = io::column_profile(f, f.density, 1);
+  ASSERT_EQ(col.size(), 4u);
+  EXPECT_EQ(col[0], 0.0);
+  EXPECT_EQ(col[3], 3.0);
+  const auto row = io::row_profile(f, f.density, 2);
+  ASSERT_EQ(row.size(), 3u);
+  EXPECT_EQ(row[1], 2.0);
+}
+
+TEST(CsvTable, WritesHeaderAndRows) {
+  io::CsvTable t({"a", "b"});
+  t.add_row({1.0, 2.5});
+  t.add_row({-3.0, 4.0});
+  std::ostringstream os;
+  t.write(os);
+  EXPECT_EQ(os.str(), "a,b\n1,2.5\n-3,4\n");
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(CsvTable, RejectsMismatchedRow) {
+  io::CsvTable t({"a", "b"});
+  EXPECT_THROW(t.add_row({1.0}), std::invalid_argument);
+}
+
+TEST(CsvTable, WriteFileRoundTrips) {
+  io::CsvTable t({"x"});
+  t.add_row({42.0});
+  const std::string path = testing::TempDir() + "/cmdsmc_test.csv";
+  t.write_file(path);
+  std::ifstream is(path);
+  std::string line;
+  std::getline(is, line);
+  EXPECT_EQ(line, "x");
+  std::getline(is, line);
+  EXPECT_EQ(line, "42");
+  std::remove(path.c_str());
+}
+
+TEST(FieldCsv, EmitsOneRowPerCell) {
+  auto f = make_field(3, 2);
+  f.density[f.grid.index(2, 1)] = 7.0;
+  std::ostringstream os;
+  io::write_field_csv(os, f, f.density, "rho");
+  std::istringstream is(os.str());
+  std::string line;
+  std::getline(is, line);
+  EXPECT_EQ(line, "x,y,rho");
+  int rows = 0;
+  std::string last;
+  while (std::getline(is, line)) {
+    ++rows;
+    last = line;
+  }
+  EXPECT_EQ(rows, 6);
+  EXPECT_EQ(last, "2.5,1.5,7");
+}

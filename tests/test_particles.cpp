@@ -1,0 +1,86 @@
+#include "core/particles.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "fixedpoint/fixed32.h"
+
+namespace core = cmdsmc::core;
+namespace cmdp = cmdsmc::cmdp;
+using cmdsmc::fixedpoint::Fixed32;
+
+TEST(ParticleStore, ResizeAndPushBack) {
+  core::ParticleStore<double> s;
+  s.resize(3);
+  EXPECT_EQ(s.size(), 3u);
+  EXPECT_EQ(s.z.size(), 0u);  // 2D: z not allocated
+  s.push_back(1, 2, 0, 3, 4, 5, 6, 7, cmdsmc::rng::identity_perm(), 1);
+  EXPECT_EQ(s.size(), 4u);
+  EXPECT_EQ(s.flags[3], 1);
+  EXPECT_EQ(s.x[3], 1.0);
+  EXPECT_EQ(s.r1[3], 7.0);
+}
+
+TEST(ParticleStore, HasZAllocatesZ) {
+  core::ParticleStore<double> s;
+  s.has_z = true;
+  s.resize(5);
+  EXPECT_EQ(s.z.size(), 5u);
+  s.push_back(1, 2, 9, 3, 4, 5, 6, 7, cmdsmc::rng::identity_perm());
+  EXPECT_EQ(s.z[5], 9.0);
+}
+
+TEST(ParticleStore, ReorderAppliesPermutationToEveryArray) {
+  cmdp::ThreadPool pool(3);
+  core::ParticleStore<double> s;
+  const std::size_t n = 10000;
+  s.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto v = static_cast<double>(i);
+    s.x[i] = v;
+    s.y[i] = v + 0.1;
+    s.ux[i] = v + 0.2;
+    s.uy[i] = v + 0.3;
+    s.uz[i] = v + 0.4;
+    s.r0[i] = v + 0.5;
+    s.r1[i] = v + 0.6;
+    s.perm[i] = static_cast<cmdsmc::rng::PackedPerm>(i & 0x7fff);
+    s.cell[i] = static_cast<std::uint32_t>(i);
+    s.flags[i] = static_cast<std::uint8_t>(i & 1);
+  }
+  // Reverse permutation.
+  std::vector<std::uint32_t> order(n);
+  for (std::size_t i = 0; i < n; ++i)
+    order[i] = static_cast<std::uint32_t>(n - 1 - i);
+  core::ParticleStore<double> scratch;
+  s.reorder(pool, order, scratch);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto v = static_cast<double>(n - 1 - i);
+    ASSERT_EQ(s.x[i], v);
+    ASSERT_EQ(s.y[i], v + 0.1);
+    ASSERT_EQ(s.ux[i], v + 0.2);
+    ASSERT_EQ(s.uy[i], v + 0.3);
+    ASSERT_EQ(s.uz[i], v + 0.4);
+    ASSERT_EQ(s.r0[i], v + 0.5);
+    ASSERT_EQ(s.r1[i], v + 0.6);
+    ASSERT_EQ(s.cell[i], static_cast<std::uint32_t>(n - 1 - i));
+    ASSERT_EQ(s.flags[i], static_cast<std::uint8_t>((n - 1 - i) & 1));
+  }
+}
+
+TEST(ParticleStore, ReorderWorksForFixed32) {
+  cmdp::ThreadPool pool(2);
+  core::ParticleStore<Fixed32> s;
+  const std::size_t n = 5000;
+  s.resize(n);
+  for (std::size_t i = 0; i < n; ++i)
+    s.x[i] = Fixed32::from_raw(static_cast<std::int32_t>(i));
+  std::vector<std::uint32_t> order(n);
+  std::iota(order.begin(), order.end(), 0u);
+  std::reverse(order.begin(), order.end());
+  core::ParticleStore<Fixed32> scratch;
+  s.reorder(pool, order, scratch);
+  for (std::size_t i = 0; i < n; ++i)
+    ASSERT_EQ(s.x[i].raw, static_cast<std::int32_t>(n - 1 - i));
+}

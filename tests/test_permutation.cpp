@@ -1,0 +1,121 @@
+#include "rng/permutation.h"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <set>
+
+namespace rng = cmdsmc::rng;
+
+TEST(PermTable, Contains120DistinctValidPermutations) {
+  const auto& table = rng::perm_table();
+  std::set<rng::PackedPerm> seen(table.begin(), table.end());
+  EXPECT_EQ(seen.size(), 120u);
+  for (auto p : table) EXPECT_TRUE(rng::perm_is_valid(p));
+}
+
+TEST(PermTable, FirstIsIdentityLastIsReverse) {
+  const auto& table = rng::perm_table();
+  EXPECT_EQ(table.front(), rng::identity_perm());
+  EXPECT_EQ(table.back(), rng::pack_perm({4, 3, 2, 1, 0}));
+}
+
+TEST(PackUnpack, RoundTripsEveryTableEntry) {
+  for (auto p : rng::perm_table()) {
+    EXPECT_EQ(rng::pack_perm(rng::unpack_perm(p)), p);
+  }
+}
+
+TEST(PermRank, IsTheInverseOfTheTable) {
+  const auto& table = rng::perm_table();
+  for (int i = 0; i < rng::kPermCount; ++i) {
+    EXPECT_EQ(rng::perm_rank(table[static_cast<std::size_t>(i)]), i);
+  }
+  EXPECT_EQ(rng::perm_rank(rng::pack_perm({0, 0, 1, 2, 3})), -1);
+}
+
+TEST(Transpose, SwapsTwoElements) {
+  const auto p = rng::pack_perm({0, 1, 2, 3, 4});
+  const auto q = rng::transpose_perm(p, 1, 3);
+  EXPECT_EQ(rng::unpack_perm(q), (std::array<std::uint8_t, 5>{0, 3, 2, 1, 4}));
+  // Transposing twice restores.
+  EXPECT_EQ(rng::transpose_perm(q, 1, 3), p);
+  // Self-transposition is a no-op.
+  EXPECT_EQ(rng::transpose_perm(p, 2, 2), p);
+}
+
+TEST(ApplyPerm, ReordersComponents) {
+  const auto p = rng::pack_perm({4, 2, 0, 3, 1});
+  const int in[5] = {10, 11, 12, 13, 14};
+  int out[5];
+  rng::apply_perm(p, in, out);
+  EXPECT_EQ(out[0], 14);
+  EXPECT_EQ(out[1], 12);
+  EXPECT_EQ(out[2], 10);
+  EXPECT_EQ(out[3], 13);
+  EXPECT_EQ(out[4], 11);
+}
+
+TEST(ApplyPerm, IdentityLeavesInputUnchanged) {
+  const double in[5] = {1.5, -2.5, 3.5, 0.0, 9.0};
+  double out[5];
+  rng::apply_perm(rng::identity_perm(), in, out);
+  for (int c = 0; c < 5; ++c) EXPECT_EQ(out[c], in[c]);
+}
+
+TEST(RandomPerm, UniformOverTheTable) {
+  rng::SplitMix64 g(21);
+  std::array<int, 120> counts{};
+  const int n = 120 * 600;
+  for (int i = 0; i < n; ++i) {
+    const int r = rng::perm_rank(rng::random_perm(g));
+    ASSERT_GE(r, 0);
+    ++counts[static_cast<std::size_t>(r)];
+  }
+  // Chi-square with 119 dof: mean 119, std dev ~15.4.  Accept within 5 sigma.
+  double chi2 = 0.0;
+  const double expected = n / 120.0;
+  for (int c : counts) chi2 += (c - expected) * (c - expected) / expected;
+  EXPECT_LT(chi2, 119 + 5 * 15.43);
+  EXPECT_GT(chi2, 119 - 5 * 15.43);
+}
+
+TEST(RandomTransposition, AlwaysYieldsValidPermutation) {
+  rng::SplitMix64 g(22);
+  rng::PackedPerm p = rng::identity_perm();
+  for (int i = 0; i < 10000; ++i) {
+    p = rng::random_transposition(p, g.next_u64());
+    ASSERT_TRUE(rng::perm_is_valid(p));
+  }
+}
+
+TEST(RandomTransposition, WalkReachesEveryPermutation) {
+  // The transposition walk is ergodic over S5 (Aldous–Diaconis); a long walk
+  // should visit all 120 states.
+  rng::SplitMix64 g(23);
+  rng::PackedPerm p = rng::identity_perm();
+  std::set<rng::PackedPerm> visited;
+  for (int i = 0; i < 40000; ++i) {
+    p = rng::random_transposition(p, g.next_u64());
+    visited.insert(p);
+  }
+  EXPECT_EQ(visited.size(), 120u);
+}
+
+TEST(RandomTransposition, LongWalkIsApproximatelyUniform) {
+  // ~n log n = 10 transpositions decorrelate (paper); sampling every 12th
+  // state of the walk should look uniform over S5.
+  rng::SplitMix64 g(24);
+  rng::PackedPerm p = rng::identity_perm();
+  std::array<int, 120> counts{};
+  const int kSamples = 40000;
+  for (int s = 0; s < kSamples; ++s) {
+    for (int t = 0; t < 12; ++t)
+      p = rng::random_transposition(p, g.next_u64());
+    ++counts[static_cast<std::size_t>(rng::perm_rank(p))];
+  }
+  double chi2 = 0.0;
+  const double expected = kSamples / 120.0;
+  for (int c : counts) chi2 += (c - expected) * (c - expected) / expected;
+  EXPECT_LT(chi2, 119 + 6 * 15.43);
+}

@@ -1,0 +1,134 @@
+#include "rng/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "rng/samplers.h"
+
+namespace rng = cmdsmc::rng;
+
+TEST(Hash4, DeterministicAndSensitiveToEveryArgument) {
+  const auto base = rng::hash4(1, 2, 3, 4);
+  EXPECT_EQ(base, rng::hash4(1, 2, 3, 4));
+  EXPECT_NE(base, rng::hash4(2, 2, 3, 4));
+  EXPECT_NE(base, rng::hash4(1, 3, 3, 4));
+  EXPECT_NE(base, rng::hash4(1, 2, 4, 4));
+  EXPECT_NE(base, rng::hash4(1, 2, 3, 5));
+}
+
+TEST(Hash4, StreamsLookIndependent) {
+  // Bit agreement between two salted streams should be ~50%.
+  std::int64_t agree = 0;
+  const int kTrials = 10000;
+  for (int i = 0; i < kTrials; ++i) {
+    const auto a = rng::hash4(7, i, 0, 1);
+    const auto b = rng::hash4(7, i, 0, 2);
+    agree += 64 - std::popcount(a ^ b);
+  }
+  const double frac = static_cast<double>(agree) / (64.0 * kTrials);
+  EXPECT_NEAR(frac, 0.5, 0.01);
+}
+
+TEST(SplitMix64, UniformMomentsOfNextDouble) {
+  rng::SplitMix64 g(11);
+  const int n = 200000;
+  double sum = 0.0, sumsq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double u = g.next_double();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+    sumsq += u * u;
+  }
+  EXPECT_NEAR(sum / n, 0.5, 0.005);
+  EXPECT_NEAR(sumsq / n - 0.25, 1.0 / 12.0, 0.005);
+}
+
+TEST(SplitMix64, NextBelowStaysInBoundsAndIsRoughlyUniform) {
+  rng::SplitMix64 g(12);
+  const std::uint32_t bound = 7;
+  std::array<int, 7> counts{};
+  const int n = 70000;
+  for (int i = 0; i < n; ++i) {
+    const auto v = g.next_below(bound);
+    ASSERT_LT(v, bound);
+    ++counts[v];
+  }
+  for (int c : counts) EXPECT_NEAR(c, n / 7.0, 5.0 * std::sqrt(n / 7.0));
+}
+
+TEST(SplitMix64, SignIsBalanced) {
+  rng::SplitMix64 g(13);
+  double acc = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) acc += g.next_sign();
+  EXPECT_NEAR(acc / n, 0.0, 0.02);
+}
+
+TEST(Samplers, GaussianMoments) {
+  rng::SplitMix64 g(14);
+  const int n = 300000;
+  double m1 = 0, m2 = 0, m4 = 0;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng::sample_gaussian(g);
+    m1 += x;
+    m2 += x * x;
+    m4 += x * x * x * x;
+  }
+  m1 /= n;
+  m2 /= n;
+  m4 /= n;
+  EXPECT_NEAR(m1, 0.0, 0.01);
+  EXPECT_NEAR(m2, 1.0, 0.02);
+  EXPECT_NEAR(m4 / (m2 * m2), 3.0, 0.1);  // Gaussian kurtosis
+}
+
+TEST(Samplers, RectangularHasMatchedVarianceButFlatKurtosis) {
+  rng::SplitMix64 g(15);
+  const double sigma = 0.37;
+  const int n = 300000;
+  double m2 = 0, m4 = 0, lo = 1e9, hi = -1e9;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng::sample_rectangular(g, sigma);
+    m2 += x * x;
+    m4 += x * x * x * x;
+    lo = std::min(lo, x);
+    hi = std::max(hi, x);
+  }
+  m2 /= n;
+  m4 /= n;
+  EXPECT_NEAR(m2, sigma * sigma, 0.01 * sigma * sigma);
+  EXPECT_NEAR(m4 / (m2 * m2), 1.8, 0.05);  // uniform kurtosis = 9/5
+  EXPECT_GE(lo, -sigma * std::sqrt(3.0) - 1e-12);
+  EXPECT_LE(hi, sigma * std::sqrt(3.0) + 1e-12);
+}
+
+TEST(Samplers, FluxNormalIsPositiveWithRayleighMoments) {
+  rng::SplitMix64 g(16);
+  const double sigma = 0.5;
+  const int n = 200000;
+  double m1 = 0, m2 = 0;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng::sample_flux_normal(g, sigma);
+    ASSERT_GT(v, 0.0);
+    m1 += v;
+    m2 += v * v;
+  }
+  m1 /= n;
+  m2 /= n;
+  // Rayleigh(sigma): mean = sigma sqrt(pi/2), second moment = 2 sigma^2.
+  EXPECT_NEAR(m1, sigma * std::sqrt(std::numbers::pi / 2.0), 0.01);
+  EXPECT_NEAR(m2, 2.0 * sigma * sigma, 0.02);
+}
+
+TEST(Samplers, MeanSpeedFormula) {
+  EXPECT_NEAR(rng::mean_speed(1.0), std::sqrt(8.0 / std::numbers::pi), 1e-12);
+}
+
+TEST(UnitDouble, MapsBitsToHalfOpenUnitInterval) {
+  EXPECT_EQ(rng::u64_to_unit_double(0), 0.0);
+  EXPECT_LT(rng::u64_to_unit_double(~0ull), 1.0);
+  EXPECT_GT(rng::u64_to_unit_double(~0ull), 0.999999);
+}

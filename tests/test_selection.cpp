@@ -1,0 +1,107 @@
+#include "physics/selection.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "physics/gas_model.h"
+
+namespace physics = cmdsmc::physics;
+
+TEST(GasModel, GExponents) {
+  physics::GasModel maxwell;
+  EXPECT_DOUBLE_EQ(maxwell.g_exponent(), 0.0);
+  EXPECT_FALSE(maxwell.needs_relative_speed());
+
+  physics::GasModel hs;
+  hs.potential = physics::Potential::kHardSphere;
+  EXPECT_DOUBLE_EQ(hs.g_exponent(), 1.0);
+  EXPECT_TRUE(hs.needs_relative_speed());
+
+  physics::GasModel ipl;
+  ipl.potential = physics::Potential::kInversePower;
+  ipl.alpha = 8.0;
+  EXPECT_DOUBLE_EQ(ipl.g_exponent(), 0.5);
+  // alpha = 4 reduces to the Maxwell exponent.
+  ipl.alpha = 4.0;
+  EXPECT_DOUBLE_EQ(ipl.g_exponent(), 0.0);
+}
+
+TEST(GasModel, ValidateRejectsBadAlpha) {
+  physics::GasModel m;
+  m.potential = physics::Potential::kInversePower;
+  m.alpha = -1.0;
+  EXPECT_THROW(m.validate(), std::invalid_argument);
+}
+
+TEST(Selection, PcFromLambdaMatchesMeanSpeedOverLambda) {
+  const double sigma = 0.18;
+  const double mean_speed = 2.0 * sigma * std::sqrt(2.0 / std::numbers::pi);
+  EXPECT_NEAR(physics::pc_from_lambda(2.0, sigma), mean_speed / 2.0, 1e-12);
+  // lambda <= 0 selects near-continuum: P = 1.
+  EXPECT_DOUBLE_EQ(physics::pc_from_lambda(0.0, sigma), 1.0);
+  // Very small lambda clips at 1 (can't collide more than once per pairing).
+  EXPECT_DOUBLE_EQ(physics::pc_from_lambda(1e-6, sigma), 1.0);
+}
+
+TEST(Selection, MakeValidates) {
+  physics::GasModel gas;
+  EXPECT_THROW(physics::SelectionRule::make(gas, 0.5, -1.0, 16.0),
+               std::invalid_argument);
+  EXPECT_THROW(physics::SelectionRule::make(gas, 0.5, 0.18, 0.0),
+               std::invalid_argument);
+}
+
+TEST(Selection, NearContinuumAlwaysCollides) {
+  physics::GasModel gas;
+  const auto rule = physics::SelectionRule::make(gas, 0.0, 0.18, 16.0);
+  EXPECT_TRUE(rule.near_continuum);
+  EXPECT_DOUBLE_EQ(rule.probability(0.01, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(rule.probability(100.0, 3.0), 1.0);
+}
+
+TEST(Selection, MaxwellProbabilityScalesLinearlyWithDensity) {
+  physics::GasModel gas;
+  const auto rule = physics::SelectionRule::make(gas, 2.0, 0.18, 16.0);
+  EXPECT_FALSE(rule.near_continuum);
+  const double p1 = rule.probability(16.0, 0.0);
+  EXPECT_NEAR(p1, rule.pc_inf, 1e-12);  // n = n_inf
+  EXPECT_NEAR(rule.probability(8.0, 0.0), 0.5 * p1, 1e-12);
+  EXPECT_NEAR(rule.probability(24.0, 0.0), 1.5 * p1, 1e-12);
+  // Maxwell molecules ignore g entirely (the integer-implementation enabler).
+  EXPECT_EQ(rule.probability(16.0, 0.1), rule.probability(16.0, 10.0));
+}
+
+TEST(Selection, ProbabilityClipsAtOne) {
+  physics::GasModel gas;
+  const auto rule = physics::SelectionRule::make(gas, 0.6, 0.18, 16.0);
+  EXPECT_DOUBLE_EQ(rule.probability(1e9, 0.0), 1.0);
+}
+
+TEST(Selection, HardSphereScalesWithRelativeSpeed) {
+  physics::GasModel gas;
+  gas.potential = physics::Potential::kHardSphere;
+  const auto rule = physics::SelectionRule::make(gas, 2.0, 0.18, 16.0);
+  const double p_ginf = rule.probability(16.0, rule.g_inf);
+  EXPECT_NEAR(p_ginf, rule.pc_inf, 1e-12);
+  EXPECT_NEAR(rule.probability(16.0, 2.0 * rule.g_inf), 2.0 * p_ginf, 1e-12);
+  EXPECT_NEAR(rule.probability(16.0, 0.5 * rule.g_inf), 0.5 * p_ginf, 1e-12);
+}
+
+TEST(Selection, InversePowerLawInterpolates) {
+  physics::GasModel gas;
+  gas.potential = physics::Potential::kInversePower;
+  gas.alpha = 8.0;  // exponent 0.5
+  const auto rule = physics::SelectionRule::make(gas, 2.0, 0.18, 16.0);
+  const double p = rule.probability(16.0, 4.0 * rule.g_inf);
+  EXPECT_NEAR(p, rule.pc_inf * 2.0, 1e-12);  // (4)^0.5 = 2
+}
+
+TEST(Selection, MeanRelativeSpeedFormula) {
+  // <g> = 4 sigma / sqrt(pi) = sqrt(2) <|c|>.
+  const double sigma = 0.3;
+  EXPECT_NEAR(physics::mean_relative_speed(sigma),
+              std::sqrt(2.0) * 2.0 * sigma * std::sqrt(2.0 / std::numbers::pi),
+              1e-12);
+}

@@ -1,0 +1,158 @@
+// Shock-metric extraction validated on synthetic fields with known
+// analytic structure.
+#include "io/shock_analysis.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+namespace io = cmdsmc::io;
+namespace core = cmdsmc::core;
+namespace geom = cmdsmc::geom;
+
+namespace {
+
+constexpr double kRad = std::numbers::pi / 180.0;
+
+core::FieldStats blank_field(int nx, int ny) {
+  core::FieldStats f;
+  f.grid = {nx, ny, 0};
+  f.samples = 1;
+  const auto n = static_cast<std::size_t>(nx * ny);
+  f.density.assign(n, 1.0);
+  f.ux.assign(n, 0.0);
+  f.uy.assign(n, 0.0);
+  f.t_trans.assign(n, 1.0);
+  f.t_rot.assign(n, 1.0);
+  f.t_total.assign(n, 1.0);
+  f.mean_count.assign(n, 16.0);
+  return f;
+}
+
+// Synthetic oblique shock: density ramps from 1 to `ratio` across a tanh
+// front along the line y = (x - x0) tan(beta), with the wedge solid zeroed.
+core::FieldStats synthetic_shock(const geom::Wedge& w, double beta_deg,
+                                 double ratio, double width) {
+  auto f = blank_field(98, 64);
+  const double tb = std::tan(beta_deg * kRad);
+  for (int ix = 0; ix < 98; ++ix) {
+    for (int iy = 0; iy < 64; ++iy) {
+      const double x = ix + 0.5;
+      const double y = iy + 0.5;
+      const std::size_t c = f.grid.index(ix, iy);
+      if (w.inside(x, y)) {
+        f.density[c] = 0.0;
+        continue;
+      }
+      const double yfront = (x - w.x0()) * tb;
+      const double t = (yfront - y) / width;  // positive below the front
+      f.density[c] = 1.0 + (ratio - 1.0) * 0.5 * (1.0 + std::tanh(t));
+    }
+  }
+  return f;
+}
+
+}  // namespace
+
+TEST(ShockFit, RecoversSyntheticAngleAndRatio) {
+  geom::Wedge w(20.0, 25.0, 30.0 * kRad);
+  const auto f = synthetic_shock(w, 45.0, 3.7, 1.2);
+  const auto fit = io::measure_oblique_shock(f, w);
+  ASSERT_TRUE(fit.valid);
+  EXPECT_NEAR(fit.angle_deg, 45.0, 1.0);
+  EXPECT_NEAR(fit.density_ratio, 3.7, 0.1);
+}
+
+TEST(ShockFit, RecoversDifferentAngles) {
+  geom::Wedge w(20.0, 25.0, 30.0 * kRad);
+  for (double beta : {40.0, 50.0}) {
+    const auto f = synthetic_shock(w, beta, 3.0, 1.0);
+    const auto fit = io::measure_oblique_shock(f, w);
+    ASSERT_TRUE(fit.valid) << beta;
+    EXPECT_NEAR(fit.angle_deg, beta, 1.5) << beta;
+  }
+}
+
+TEST(ShockFit, ThicknessTracksFrontWidth) {
+  geom::Wedge w(20.0, 25.0, 30.0 * kRad);
+  const auto thin = io::measure_oblique_shock(synthetic_shock(w, 45, 3.7, 0.8),
+                                              w);
+  const auto wide = io::measure_oblique_shock(synthetic_shock(w, 45, 3.7, 2.0),
+                                              w);
+  ASSERT_TRUE(thin.valid);
+  ASSERT_TRUE(wide.valid);
+  EXPECT_GT(wide.thickness_vertical, 1.5 * thin.thickness_vertical);
+  // Normal thickness = vertical * cos(beta).
+  EXPECT_NEAR(thin.thickness_normal,
+              thin.thickness_vertical * std::cos(45.0 * kRad), 0.15);
+}
+
+TEST(ShockFit, InvalidWhenNoShock) {
+  geom::Wedge w(20.0, 25.0, 30.0 * kRad);
+  const auto f = blank_field(98, 64);  // uniform density everywhere
+  const auto fit = io::measure_oblique_shock(f, w);
+  EXPECT_FALSE(fit.valid);
+}
+
+TEST(ShockFit, InvalidOnTinyWindow) {
+  geom::Wedge w(2.0, 4.0, 30.0 * kRad);
+  auto f = blank_field(16, 16);
+  const auto fit = io::measure_oblique_shock(f, w);
+  EXPECT_FALSE(fit.valid);
+}
+
+TEST(Wake, DetectsRecompressionBase) {
+  geom::Wedge w(20.0, 25.0, 30.0 * kRad);
+  auto f = blank_field(98, 64);
+  // Wake band: density 0.06 near the back face rising to 0.4 downstream.
+  for (int ix = 45; ix < 98; ++ix)
+    for (int iy = 0; iy < 6; ++iy)
+      f.density[f.grid.index(ix, iy)] =
+          0.06 + 0.34 * (ix - 45) / 53.0;
+  const auto wm = io::measure_wake(f, w);
+  EXPECT_TRUE(wm.shock_present);
+  EXPECT_NEAR(wm.base_density, 0.08, 0.03);
+  EXPECT_GT(wm.recovery_x, 60.0);
+  // A washed-out wake: an order of magnitude emptier.
+  for (int ix = 45; ix < 98; ++ix)
+    for (int iy = 0; iy < 6; ++iy)
+      f.density[f.grid.index(ix, iy)] *= 0.2;
+  const auto wm2 = io::measure_wake(f, w);
+  EXPECT_FALSE(wm2.shock_present);
+  EXPECT_LT(wm2.base_density, wm.base_density);
+}
+
+TEST(Stagnation, PeakDensityFindsMaximumNearSurface) {
+  geom::Wedge w(20.0, 25.0, 30.0 * kRad);
+  auto f = blank_field(98, 64);
+  const int ix = 38;
+  const int iy = static_cast<int>(w.surface_y(ix + 0.5)) + 1;
+  f.density[f.grid.index(ix, iy)] = 4.2;
+  EXPECT_NEAR(io::stagnation_peak_density(f, w), 4.2, 1e-12);
+}
+
+TEST(ExpansionFan, TheoryFollowsMeasuredTurning) {
+  geom::Wedge w(20.0, 25.0, 30.0 * kRad);
+  auto f = synthetic_shock(w, 45.0, 3.7, 1.0);
+  // Synthetic centered fan: flow direction rotates with the geometric ray
+  // angle around the corner (from the surface direction down to -40 deg).
+  const double cx = w.apex_x();
+  const double cy = w.height();
+  for (int ix = 0; ix < f.grid.nx; ++ix)
+    for (int iy = 0; iy < f.grid.ny; ++iy) {
+      double phi = std::atan2(iy + 0.5 - cy, ix + 0.5 - cx);
+      phi = std::clamp(phi, w.angle() - 40.0 * kRad, w.angle());
+      f.ux[f.grid.index(ix, iy)] = 0.6 * std::cos(phi);
+      f.uy[f.grid.index(ix, iy)] = 0.6 * std::sin(phi);
+    }
+  const auto samples = io::expansion_fan_check(f, w, 3.7, 1.85, 6.0, 40.0, 5.0);
+  ASSERT_GE(samples.size(), 5u);
+  // Turn angles increase along the arc; theory ratio decreases with turn.
+  for (std::size_t k = 1; k < samples.size(); ++k) {
+    EXPECT_GE(samples[k].turn_deg, samples[k - 1].turn_deg - 1e-9);
+    EXPECT_LE(samples[k].theory_ratio, samples[k - 1].theory_ratio + 1e-9);
+  }
+  // Near-zero turn predicts the plateau density.
+  EXPECT_NEAR(samples.front().theory_ratio, 1.0, 0.05);
+}

@@ -1,0 +1,110 @@
+#include "physics/theory.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace th = cmdsmc::physics::theory;
+
+namespace {
+constexpr double kRad = std::numbers::pi / 180.0;
+}
+
+TEST(NormalShock, Mach2AirTextbookValues) {
+  const double g = 1.4;
+  EXPECT_NEAR(th::normal_shock_density_ratio(2.0, g), 2.6667, 1e-3);
+  EXPECT_NEAR(th::normal_shock_pressure_ratio(2.0, g), 4.5, 1e-6);
+  EXPECT_NEAR(th::normal_shock_downstream_mach(2.0, g), 0.5774, 1e-4);
+  EXPECT_NEAR(th::normal_shock_temperature_ratio(2.0, g), 1.6875, 1e-4);
+}
+
+TEST(NormalShock, MachOneIsIdentity) {
+  EXPECT_NEAR(th::normal_shock_density_ratio(1.0), 1.0, 1e-12);
+  EXPECT_NEAR(th::normal_shock_pressure_ratio(1.0), 1.0, 1e-12);
+  EXPECT_NEAR(th::normal_shock_downstream_mach(1.0), 1.0, 1e-12);
+}
+
+TEST(NormalShock, StrongShockDensityLimitIs6ForDiatomic) {
+  // (gamma+1)/(gamma-1) = 6 for gamma = 7/5.
+  EXPECT_NEAR(th::normal_shock_density_ratio(100.0), 6.0, 0.01);
+}
+
+TEST(ObliqueShock, PaperCaseMach4Wedge30GivesBeta45AndRatio3p7) {
+  // The validation numbers the paper quotes for figs. 1-3.
+  // Exact theory gives beta = 45.34 deg, ratio = 3.71; the paper quotes the
+  // rounded 45 deg / 3.7x.
+  const double beta = th::oblique_shock_angle(30.0 * kRad, 4.0);
+  EXPECT_NEAR(beta / kRad, 45.0, 0.6);
+  const double ratio = th::oblique_shock_density_ratio(beta, 4.0);
+  EXPECT_NEAR(ratio, 3.7, 0.08);
+}
+
+TEST(ObliqueShock, DeflectionIsInverseOfShockAngle) {
+  for (double theta_deg : {5.0, 10.0, 20.0, 30.0}) {
+    const double beta = th::oblique_shock_angle(theta_deg * kRad, 4.0);
+    EXPECT_NEAR(th::deflection_angle(beta, 4.0) / kRad, theta_deg, 1e-6);
+  }
+}
+
+TEST(ObliqueShock, ZeroDeflectionGivesMachWave) {
+  const double beta = th::oblique_shock_angle(0.0, 2.0);
+  EXPECT_NEAR(beta, std::asin(0.5), 1e-9);
+}
+
+TEST(ObliqueShock, DetachedThrows) {
+  // Max deflection at M=2 (gamma 1.4) is ~23 degrees.
+  EXPECT_THROW(th::oblique_shock_angle(35.0 * kRad, 2.0),
+               std::domain_error);
+}
+
+TEST(ObliqueShock, DownstreamMachPaperCaseStaysSupersonic) {
+  const double beta = th::oblique_shock_angle(30.0 * kRad, 4.0);
+  const double m2 = th::oblique_shock_downstream_mach(beta, 30.0 * kRad, 4.0);
+  EXPECT_GT(m2, 1.0);
+  EXPECT_LT(m2, 4.0);
+  // M1n = 4 sin(45.34 deg) = 2.85, M2n = 0.485, M2 = M2n / sin(beta - theta)
+  // = 1.85 for M = 4, theta = 30 deg, gamma = 1.4.
+  EXPECT_NEAR(m2, 1.85, 0.03);
+}
+
+TEST(PrandtlMeyer, TextbookValues) {
+  // nu(M=2, gamma=1.4) = 26.38 degrees.
+  EXPECT_NEAR(th::prandtl_meyer(2.0, 1.4) / kRad, 26.38, 0.02);
+  EXPECT_NEAR(th::prandtl_meyer(1.0, 1.4), 0.0, 1e-9);
+  EXPECT_THROW(th::prandtl_meyer(0.5, 1.4), std::domain_error);
+}
+
+TEST(PrandtlMeyer, InverseRoundTrips) {
+  for (double m : {1.1, 1.5, 2.0, 3.0, 5.0}) {
+    const double nu = th::prandtl_meyer(m);
+    EXPECT_NEAR(th::mach_from_prandtl_meyer(nu), m, 1e-6);
+  }
+  EXPECT_THROW(th::mach_from_prandtl_meyer(-0.1), std::domain_error);
+}
+
+TEST(Isentropic, DensityRatioDecreasesWithMach) {
+  double prev = th::isentropic_density_ratio(0.0);
+  EXPECT_NEAR(prev, 1.0, 1e-12);
+  for (double m = 0.5; m < 5.0; m += 0.5) {
+    const double r = th::isentropic_density_ratio(m);
+    EXPECT_LT(r, prev);
+    prev = r;
+  }
+}
+
+TEST(Kinetic, SoundSpeedAndMeanSpeed) {
+  EXPECT_NEAR(th::sound_speed(1.0), std::sqrt(1.4), 1e-12);
+  EXPECT_NEAR(th::maxwell_mean_speed(1.0), std::sqrt(8.0 / std::numbers::pi),
+              1e-12);
+}
+
+TEST(Kinetic, PaperKnudsenAndReynolds) {
+  // Paper: lambda = 0.5 cells, wedge 25 cells -> Kn = 0.02, Re = 600.
+  const double kn = th::knudsen_number(0.5, 25.0);
+  EXPECT_NEAR(kn, 0.02, 1e-12);
+  const double re = th::reynolds_from_mach_knudsen(4.0, kn);
+  EXPECT_NEAR(re, 600.0, 320.0);  // same order; the paper's exact viscosity
+                                  // model is not specified
+}
