@@ -5,8 +5,10 @@
 #include <cmath>
 #include <cstdint>
 #include <numbers>
+#include <optional>
 #include <stdexcept>
 
+#include "geom/body.h"
 #include "geom/boundary.h"
 #include "physics/gas_model.h"
 #include "physics/theory.h"
@@ -42,10 +44,18 @@ struct SimConfig {
   double reservoir_fraction = 0.10;  // extra particles parked in the reservoir
 
   // --- Body ---
+  // Legacy wedge-specific path (the paper's only body).
   bool has_wedge = true;
   double wedge_x0 = 20.0;
   double wedge_base = 25.0;
   double wedge_angle_deg = 30.0;
+  // Generalized body: when set it replaces the wedge fields above — the
+  // collision path, fractional cell volumes and surface-flux sampling all go
+  // through the geom::Body subsystem.  Build one with the Body factories
+  // (Body::Wedge reproduces the legacy wedge) and assign per-segment wall
+  // models on it before constructing the Simulation; a body left entirely
+  // specular inherits `wall` / `wall_sigma` below as its default.
+  std::optional<geom::Body> body;
 
   // --- Gas model ---
   physics::GasModel gas{};
@@ -100,7 +110,11 @@ struct SimConfig {
       throw std::invalid_argument("SimConfig: particles_per_cell must be > 0");
     if (reservoir_fraction < 0.0)
       throw std::invalid_argument("SimConfig: reservoir_fraction must be >= 0");
-    if (has_wedge) {
+    if (body) {
+      if (body->xmin() < 0.0 || body->xmax() >= nx || body->ymin() < 0.0 ||
+          body->ymax() >= ny)
+        throw std::invalid_argument("SimConfig: body outside the domain");
+    } else if (has_wedge) {
       if (wedge_x0 < 0.0 || wedge_x0 + wedge_base >= nx)
         throw std::invalid_argument("SimConfig: wedge outside the domain");
       if (wedge_angle_deg <= 0.0 || wedge_angle_deg >= 90.0)

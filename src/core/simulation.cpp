@@ -30,6 +30,12 @@ enum Salt : std::uint64_t {
 };
 
 SimConfig validated(SimConfig cfg) {
+  // A body whose segment walls were never customized inherits the config's
+  // global wall model, so migrating a diffuse-wall setup from the wedge
+  // fields to cfg.body does not silently fall back to specular walls.
+  if (cfg.body && cfg.wall != geom::WallModel::kSpecular &&
+      !cfg.body->any_diffuse())
+    cfg.body->set_wall_model(cfg.wall, cfg.wall_sigma);
   cfg.validate();
   return cfg;
 }
@@ -41,12 +47,15 @@ geom::Grid make_grid(const SimConfig& cfg) {
 }
 
 std::optional<geom::Wedge> make_wedge(const SimConfig& cfg) {
-  if (!cfg.has_wedge) return std::nullopt;
+  // The generalized body replaces the wedge-specific path when present.
+  if (cfg.body || !cfg.has_wedge) return std::nullopt;
   return geom::Wedge(cfg.wedge_x0, cfg.wedge_base, cfg.wedge_angle_rad());
 }
 
 std::vector<double> make_open_fraction(const geom::Grid& grid,
-                                       const std::optional<geom::Wedge>& w) {
+                                       const std::optional<geom::Wedge>& w,
+                                       const std::optional<geom::Body>& b) {
+  if (b) return b->open_fraction_table(grid);
   if (!w) return std::vector<double>(static_cast<std::size_t>(grid.ncells()),
                                      1.0);
   return w->open_fraction_table(grid);
@@ -60,7 +69,7 @@ Simulation<Real>::Simulation(const SimConfig& cfg, cmdp::ThreadPool* pool)
       pool_(pool != nullptr ? pool : &cmdp::ThreadPool::global()),
       grid_(make_grid(cfg_)),
       wedge_(make_wedge(cfg_)),
-      open_frac_(make_open_fraction(grid_, wedge_)),
+      open_frac_(make_open_fraction(grid_, wedge_, cfg_.body)),
       rule_(physics::SelectionRule::make(cfg_.gas, cfg_.lambda_inf, cfg_.sigma,
                                          cfg_.particles_per_cell)),
       sampler_(grid_, open_frac_, cfg_.particles_per_cell, cfg_.sigma) {
@@ -76,6 +85,11 @@ Simulation<Real>::Simulation(const SimConfig& cfg, cmdp::ThreadPool* pool)
   phase_id_[kPhaseSelect] = timers_.phase_id("select");
   phase_id_[kPhaseCollide] = timers_.phase_id("collide");
   phase_id_[kPhaseSample] = timers_.phase_id("sample");
+  if (cfg_.body)
+    surf_ = SurfaceSampler(cfg_.body->segment_count(), pool_->size(),
+                           grid_.is3d() ? grid_.nz : 1.0);
+  plunger_.speed = u_inf_;
+  plunger_.trigger = cfg_.plunger_trigger;
   init_particles();
 }
 
@@ -121,7 +135,8 @@ void Simulation<Real>::init_particles() {
     do {
       x = g.next_double() * nx;
       y = g.next_double() * ny;
-    } while (wedge_ && wedge_->inside(x, y));
+    } while ((wedge_ && wedge_->inside(x, y)) ||
+             (cfg_.body && cfg_.body->inside(x, y)));
     const double z = grid_.is3d() ? g.next_double() * nz : 0.0;
     store_.x[i] = N::from_double(x);
     store_.y[i] = N::from_double(y);
@@ -205,24 +220,35 @@ void Simulation<Real>::phase_move_and_boundaries() {
   const std::size_t n = store_.size();
   const bool plunger_active =
       !cfg_.closed_box && cfg_.upstream == geom::UpstreamMode::kPlunger;
-  if (plunger_active) plunger_x_ += u_inf_;
+  // Advance (and possibly withdraw) the plunger.  Particles this step still
+  // reflect off the face the plunger reached before withdrawal; the void is
+  // refilled behind the restarted face after the move loop.
+  const double void_width = plunger_active ? plunger_.advance() : 0.0;
 
   geom::BoundaryConfig bc;
   bc.x_max = grid_.nx;
   bc.y_max = grid_.ny;
   bc.z_max = grid_.is3d() ? grid_.nz : 0.0;
+  bc.body = cfg_.body ? &cfg_.body.value() : nullptr;
   bc.wedge = wedge_ ? &wedge_.value() : nullptr;
-  bc.plunger_x = plunger_x_;
+  bc.plunger_x = plunger_.x + void_width;  // pre-withdrawal face position
   bc.plunger_speed = u_inf_;
   bc.plunger_active = plunger_active;
   bc.wall = cfg_.wall;
   bc.wall_sigma = cfg_.wall_sigma;
   bc.closed = cfg_.closed_box;
 
-  const bool need_bc_bits = cfg_.wall != geom::WallModel::kSpecular;
+  const bool need_bc_bits = cfg_.body
+                                ? cfg_.body->any_diffuse()
+                                : cfg_.wall != geom::WallModel::kSpecular;
+  const bool record_surface = surface_sampling_ && cfg_.body.has_value();
   std::atomic<std::uint64_t> removed{0};
-  cmdp::parallel_chunks(*pool_, n, [&](cmdp::Range r, unsigned) {
+  cmdp::parallel_chunks(*pool_, n, [&](cmdp::Range r, unsigned tid) {
     std::uint64_t local_removed = 0;
+    // Hoisted out of the loop: entries past `count` are never read, so a
+    // per-particle reset of the count alone avoids re-zeroing the buffer in
+    // this hot path.
+    geom::WallEventBuffer wall_events;
     for (std::size_t i = r.begin; i < r.end; ++i) {
       if (store_.flags[i] & ParticleStore<Real>::kReservoirFlag) {
         // Reservoir particles do not move; re-deal their pairing pseudo-cell
@@ -245,7 +271,12 @@ void Simulation<Real>::phase_move_and_boundaries() {
       ps.r0 = N::to_double(store_.r0[i]);
       ps.r1 = N::to_double(store_.r1[i]);
       const std::uint64_t bbits = need_bc_bits ? bits_for(i, kSaltBc) : 0;
-      if (geom::enforce_boundaries(ps, bc, bbits)) {
+      wall_events.count = 0;
+      const bool kept = geom::enforce_boundaries(
+          ps, bc, bbits, record_surface ? &wall_events : nullptr);
+      if (record_surface && wall_events.count > 0)
+        surf_.record(tid, wall_events);
+      if (kept) {
         store_.x[i] = N::from_double(ps.x);
         store_.y[i] = N::from_double(ps.y);
         if (store_.has_z) store_.z[i] = N::from_double(ps.z);
@@ -287,14 +318,14 @@ void Simulation<Real>::phase_move_and_boundaries() {
   counters_.removed += nrem;
 
   // 2b) Upstream particle introduction.
+  if (record_surface) surf_.end_step();
   if (cfg_.closed_box) return;
   if (cfg_.upstream == geom::UpstreamMode::kPlunger) {
-    if (plunger_x_ >= cfg_.plunger_trigger) {
-      // Withdraw the plunger and fill the void at freestream density.
-      const double width = plunger_x_;
-      plunger_x_ = 0.0;
-      inject_void(width, 0.0);
-    }
+    // The plunger withdrew at the trigger crossing this step: refill the
+    // trigger-wide void *ahead of the restarted face* (the slab
+    // [plunger_.x, plunger_.x + width]) at freestream density.  The region
+    // [0, plunger_.x) stays empty — the restarted plunger is sweeping it.
+    if (void_width > 0.0) inject_void(void_width, plunger_.x);
   } else {
     soft_source_topup();
   }
@@ -537,6 +568,14 @@ void Simulation<Real>::phase_collide() {
 template <class Real>
 void Simulation<Real>::phase_sample() {
   sampler_.accumulate(*pool_, store_, flow_count());
+}
+
+template <class Real>
+SurfaceStats Simulation<Real>::surface() const {
+  if (!cfg_.body) return SurfaceStats{};
+  // u_inf_ is the actual stream speed (0 in closed-box runs, where the raw
+  // p/tau/q fluxes stay meaningful but the coefficients are reported as 0).
+  return surf_.finalize(*cfg_.body, n_inf_, cfg_.sigma, u_inf_);
 }
 
 template <class Real>

@@ -27,7 +27,9 @@
 #include "core/config.h"
 #include "core/particles.h"
 #include "core/sampling.h"
+#include "core/surface_sampling.h"
 #include "fixedpoint/fixed32.h"
+#include "geom/body.h"
 #include "geom/boundary.h"
 #include "geom/grid.h"
 #include "geom/wedge.h"
@@ -72,11 +74,20 @@ class Simulation {
   void reset_sampling() { sampler_.reset(); }
   FieldStats field() const { return sampler_.finalize(); }
 
+  // Surface-flux sampling (requires a generalized body; no-op otherwise).
+  void set_surface_sampling(bool on) { surface_sampling_ = on; }
+  void reset_surface_sampling() { surf_.reset(); }
+  // Time-averaged per-segment Cp/Cf/heat-flux and integrated Cd/Cl.
+  SurfaceStats surface() const;
+
   // --- Accessors ---
   const SimConfig& config() const { return cfg_; }
   const geom::Grid& grid() const { return grid_; }
   const geom::Wedge* wedge() const {
     return wedge_ ? &wedge_.value() : nullptr;
+  }
+  const geom::Body* body() const {
+    return cfg_.body ? &cfg_.body.value() : nullptr;
   }
   const std::vector<double>& open_fraction() const { return open_frac_; }
   const physics::SelectionRule& selection_rule() const { return rule_; }
@@ -87,7 +98,7 @@ class Simulation {
   std::size_t flow_count() const { return store_.size() - res_count_; }
   std::int64_t step_index() const { return step_; }
   const SimCounters& counters() const { return counters_; }
-  double plunger_x() const { return plunger_x_; }
+  double plunger_x() const { return plunger_.x; }
 
   // Phase wall-clock seconds (Table A) and their sum.
   double phase_seconds(Phase p) const { return timers_.seconds(phase_id_[p]); }
@@ -130,7 +141,7 @@ class Simulation {
   double n_inf_ = 0.0;          // freestream particles per cell volume
   std::uint32_t ncells_ = 0;    // real grid cells
   std::uint32_t res_cells_ = 1;  // reservoir pairing pseudo-cells
-  double plunger_x_ = 0.0;
+  geom::Plunger plunger_;
 
   ParticleStore<Real> store_;
   ParticleStore<Real> scratch_;
@@ -145,6 +156,8 @@ class Simulation {
 
   FieldSampler<Real> sampler_;
   bool sampling_ = false;
+  SurfaceSampler surf_;
+  bool surface_sampling_ = false;
   std::int64_t step_ = 0;
   SimCounters counters_;
   cmdp::PhaseTimers timers_;

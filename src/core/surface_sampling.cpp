@@ -1,0 +1,93 @@
+#include "core/surface_sampling.h"
+
+#include <stdexcept>
+
+namespace cmdsmc::core {
+
+SurfaceSampler::SurfaceSampler(int nsegments, unsigned lanes, double span)
+    : nseg_(nsegments), lanes_(lanes), span_(span > 0.0 ? span : 1.0) {
+  if (nsegments < 0)
+    throw std::invalid_argument("SurfaceSampler: negative segment count");
+  if (lanes == 0) lanes_ = 1;
+  lane_sums_.assign(static_cast<std::size_t>(lanes_) * nseg_ * kMoments, 0.0);
+}
+
+void SurfaceSampler::reset() {
+  samples_ = 0;
+  std::fill(lane_sums_.begin(), lane_sums_.end(), 0.0);
+}
+
+void SurfaceSampler::record(unsigned lane, const geom::WallEventBuffer& ev) {
+  if (lane >= lanes_) lane = lanes_ - 1;
+  double* s = lane_sums_.data() +
+              static_cast<std::size_t>(lane) * nseg_ * kMoments;
+  for (int k = 0; k < ev.count; ++k) {
+    const geom::WallEvent& e = ev.events[k];
+    if (e.segment < 0 || e.segment >= nseg_) continue;
+    double* m = s + static_cast<std::size_t>(e.segment) * kMoments;
+    m[0] += 1.0;
+    m[1] += e.dpx;
+    m[2] += e.dpy;
+    m[3] += e.de;
+  }
+}
+
+SurfaceStats SurfaceSampler::finalize(const geom::Body& body, double rho_inf,
+                                      double sigma_inf, double u_inf) const {
+  SurfaceStats out;
+  out.samples = samples_;
+  if (body.segment_count() != nseg_)
+    throw std::invalid_argument(
+        "SurfaceSampler::finalize: body/sampler segment count mismatch");
+  out.p_inf = rho_inf * sigma_inf * sigma_inf;
+  out.q_inf = 0.5 * rho_inf * u_inf * u_inf;
+  out.segments.resize(static_cast<std::size_t>(nseg_));
+  if (nseg_ == 0) return out;
+
+  // Reduce the lanes into per-segment sums.
+  std::vector<double> sums(static_cast<std::size_t>(nseg_) * kMoments, 0.0);
+  for (unsigned t = 0; t < lanes_; ++t) {
+    const double* src =
+        lane_sums_.data() + static_cast<std::size_t>(t) * nseg_ * kMoments;
+    for (std::size_t i = 0; i < sums.size(); ++i) sums[i] += src[i];
+  }
+
+  const double steps = samples_ > 0 ? static_cast<double>(samples_) : 1.0;
+  const double e_ref = 0.5 * rho_inf * u_inf * u_inf * u_inf;
+  for (int i = 0; i < nseg_; ++i) {
+    const geom::BodySegment& seg =
+        body.segments()[static_cast<std::size_t>(i)];
+    SurfaceSegmentStats& s = out.segments[static_cast<std::size_t>(i)];
+    s.x = seg.mid_x();
+    s.y = seg.mid_y();
+    s.nx = seg.nx;
+    s.ny = seg.ny;
+    s.length = seg.length;
+    s.embedded = seg.embedded;
+    const double* m = sums.data() + static_cast<std::size_t>(i) * kMoments;
+    const double area = seg.length * span_;
+    s.hits_per_step = m[0] / steps;
+    // dp is the momentum handed to the wall; its component along the outward
+    // normal is negative for a compressing stream, so pressure (force per
+    // area pushing the wall inward) is the negated normal component.
+    s.p = -(m[1] * seg.nx + m[2] * seg.ny) / (steps * area);
+    s.tau = (m[1] * seg.tx + m[2] * seg.ty) / (steps * area);
+    s.q = m[3] / (steps * area);
+    if (out.q_inf > 0.0) {
+      s.cp = (s.p - out.p_inf) / out.q_inf;
+      s.cf = s.tau / out.q_inf;
+      s.ch = s.q / e_ref;
+    }
+    out.fx += m[1] / (steps * span_);
+    out.fy += m[2] / (steps * span_);
+    out.heat_total += m[3] / (steps * span_);
+  }
+  const double chord = body.chord();
+  if (out.q_inf > 0.0 && chord > 0.0) {
+    out.cd = out.fx / (out.q_inf * chord);
+    out.cl = out.fy / (out.q_inf * chord);
+  }
+  return out;
+}
+
+}  // namespace cmdsmc::core

@@ -1,0 +1,87 @@
+// Per-segment surface-flux accumulation.
+//
+// Every reflection off a geom::Body face hands the wall a momentum and
+// energy increment (recorded by enforce_boundaries into a WallEventBuffer).
+// This sampler tallies those increments per segment over many time steps and
+// finalizes them into time-averaged surface distributions — pressure, shear
+// and heat flux, normalized as Cp / Cf / Ch — plus the integrated drag and
+// lift coefficients.  The paper never reports surface quantities (its wedge
+// is specular and inviscid); this is the instrumentation a general body
+// subsystem exists to feed.
+//
+// Units: particle mass 1, so rho_inf = n_inf (particles per cell volume),
+// freestream static pressure p_inf = n_inf * sigma_inf^2, dynamic pressure
+// q_inf = 0.5 * n_inf * u_inf^2.  Fluxes are per unit area per time step.
+#pragma once
+
+#include <vector>
+
+#include "geom/body.h"
+#include "geom/boundary.h"
+
+namespace cmdsmc::core {
+
+struct SurfaceSegmentStats {
+  // Segment geometry (midpoint, outward normal, length).
+  double x = 0.0, y = 0.0;
+  double nx = 0.0, ny = 0.0;
+  double length = 0.0;
+  bool embedded = false;
+  // Raw time-averaged fluxes (sim units, per unit area per step).
+  double hits_per_step = 0.0;
+  double p = 0.0;    // normal momentum flux into the wall (pressure)
+  double tau = 0.0;  // tangential momentum flux along the segment tangent
+  double q = 0.0;    // energy flux into the wall (heating > 0)
+  // Normalized coefficients (0 when the freestream is at rest).
+  double cp = 0.0;   // (p - p_inf) / q_inf
+  double cf = 0.0;   // tau / q_inf
+  double ch = 0.0;   // q / (0.5 rho_inf u_inf^3)
+};
+
+struct SurfaceStats {
+  int samples = 0;
+  double p_inf = 0.0;
+  double q_inf = 0.0;
+  std::vector<SurfaceSegmentStats> segments;
+  // Integrated force on the body per unit span per step (sim units) and the
+  // corresponding coefficients referenced to q_inf * chord.
+  double fx = 0.0, fy = 0.0;
+  double cd = 0.0, cl = 0.0;
+  double heat_total = 0.0;  // integrated energy flux per unit span per step
+};
+
+// Lane-parallel accumulator: each worker lane owns a private slice, so
+// recording from the move phase needs no synchronization; lanes are reduced
+// at finalize time.
+class SurfaceSampler {
+ public:
+  SurfaceSampler() = default;
+  // `span` is the z-extent of the prism extrusion (1 for 2D runs).
+  SurfaceSampler(int nsegments, unsigned lanes, double span);
+
+  bool active() const { return nseg_ > 0; }
+  int samples() const { return samples_; }
+
+  void reset();
+
+  // Called from worker lane `lane` for one particle's wall events.
+  void record(unsigned lane, const geom::WallEventBuffer& events);
+
+  // Marks the end of one sampled time step.
+  void end_step() { ++samples_; }
+
+  // Reduces the lanes and normalizes against the body geometry and the
+  // freestream (rho_inf = n_inf for unit-mass particles).
+  SurfaceStats finalize(const geom::Body& body, double rho_inf,
+                        double sigma_inf, double u_inf) const;
+
+ private:
+  static constexpr int kMoments = 4;  // count, dpx, dpy, de
+  int nseg_ = 0;
+  unsigned lanes_ = 0;
+  double span_ = 1.0;
+  int samples_ = 0;
+  std::vector<double> lane_sums_;  // lanes * nseg * kMoments
+};
+
+}  // namespace cmdsmc::core

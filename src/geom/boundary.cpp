@@ -61,12 +61,49 @@ void diffuse_reflect(ParticleState& p, double px, double py, double nx,
   }
 }
 
+double particle_energy(const ParticleState& p) {
+  return 0.5 * (p.ux * p.ux + p.uy * p.uy + p.uz * p.uz + p.r0 * p.r0 +
+                p.r1 * p.r1);
+}
+
+// Reflects a particle off a violated face plane (outward normal (nx, ny),
+// penetration `depth` < 0) with the given wall model.  Shared by the
+// generalized-body and legacy-wedge paths.
+void reflect_off_face(ParticleState& p, double nx, double ny, double depth,
+                      WallModel model, double wall_sigma,
+                      std::uint64_t rand_bits) {
+  const double px = p.x - depth * nx;
+  const double py = p.y - depth * ny;
+  if (model == WallModel::kSpecular) {
+    specular_reflect(p, px, py, nx, ny);
+  } else {
+    diffuse_reflect(p, px, py, nx, ny, model, wall_sigma, rand_bits);
+  }
+}
+
+// Reflects a particle found inside the generalized body off its nearest
+// face, using that segment's wall model, and records the momentum/energy
+// handed to the wall.
+void body_reflect(ParticleState& p, const Body& body, const BodyHit& hit,
+                  std::uint64_t rand_bits, WallEventBuffer* events) {
+  const BodySegment& seg =
+      body.segments()[static_cast<std::size_t>(hit.segment)];
+  const double pre_ux = p.ux;
+  const double pre_uy = p.uy;
+  const double pre_e = particle_energy(p);
+  reflect_off_face(p, hit.nx, hit.ny, hit.depth, seg.wall, seg.wall_sigma,
+                   rand_bits);
+  if (events != nullptr)
+    events->add(hit.segment, pre_ux - p.ux, pre_uy - p.uy,
+                pre_e - particle_energy(p));
+}
+
 }  // namespace
 
 bool enforce_boundaries(ParticleState& p, const BoundaryConfig& bc,
-                        std::uint64_t rand_bits) {
+                        std::uint64_t rand_bits, WallEventBuffer* events) {
   // A particle can violate several boundaries in one step (e.g. floor then
-  // wedge near the leading edge); iterate until clean.  Four passes always
+  // body near the leading edge); iterate until clean.  Four passes always
   // suffice at sane CFL; afterwards clamp defensively.
   for (int pass = 0; pass < 4; ++pass) {
     bool dirty = false;
@@ -113,20 +150,18 @@ bool enforce_boundaries(ParticleState& p, const BoundaryConfig& bc,
       }
     }
 
-    // The wedge body.
-    if (bc.wedge != nullptr) {
+    // The body: generalized Body takes precedence over the legacy wedge.
+    if (bc.body != nullptr) {
+      if (auto hit = bc.body->nearest_face(p.x, p.y)) {
+        body_reflect(p, *bc.body, *hit,
+                     rng::mix64(rand_bits + 0x9e37u * (pass + 1)), events);
+        dirty = true;
+      }
+    } else if (bc.wedge != nullptr) {
       if (auto hit = bc.wedge->nearest_face(p.x, p.y)) {
-        if (bc.wall == WallModel::kSpecular) {
-          // Reflect about the violated face: the face plane passes through
-          // the point offset by `depth` along the normal.
-          specular_reflect(p, p.x - hit->depth * hit->nx,
-                           p.y - hit->depth * hit->ny, hit->nx, hit->ny);
-        } else {
-          diffuse_reflect(p, p.x - hit->depth * hit->nx,
-                          p.y - hit->depth * hit->ny, hit->nx, hit->ny,
-                          bc.wall, bc.wall_sigma,
-                          rng::mix64(rand_bits + 0x9e37u * (pass + 1)));
-        }
+        reflect_off_face(p, hit->nx, hit->ny, hit->depth, bc.wall,
+                         bc.wall_sigma,
+                         rng::mix64(rand_bits + 0x9e37u * (pass + 1)));
         dirty = true;
       }
     }
@@ -135,7 +170,7 @@ bool enforce_boundaries(ParticleState& p, const BoundaryConfig& bc,
   }
 
   // Defensive clamp for pathological corner cases (e.g. a particle trapped
-  // exactly in the wedge apex): project to the nearest open location.
+  // exactly in a body vertex): project to the nearest open location.
   if (p.x < 0.0) p.x = 0.0;
   if (p.x >= bc.x_max) p.x = bc.x_max - 1e-9;
   if (p.y < 0.0) p.y = 0.0;
@@ -144,7 +179,21 @@ bool enforce_boundaries(ParticleState& p, const BoundaryConfig& bc,
     if (p.z < 0.0) p.z = 0.0;
     if (p.z >= bc.z_max) p.z = bc.z_max - 1e-9;
   }
-  if (bc.wedge != nullptr && bc.wedge->inside(p.x, p.y)) {
+  if (bc.body != nullptr) {
+    // Push the particle just outside the violated face.  Near a concave
+    // vertex of a non-convex body one push can land inside the solid owned
+    // by the adjacent face, so recheck and push again a few times.
+    for (int k = 0; k < 4; ++k) {
+      const auto hit = bc.body->nearest_face(p.x, p.y);
+      if (!hit) break;
+      p.x += (-hit->depth + 1e-9) * hit->nx;
+      p.y += (-hit->depth + 1e-9) * hit->ny;
+      if (p.x < 0.0) p.x = 0.0;
+      if (p.x >= bc.x_max) p.x = bc.x_max - 1e-9;
+      if (p.y < 0.0) p.y = 0.0;
+      if (p.y >= bc.y_max) p.y = bc.y_max - 1e-9;
+    }
+  } else if (bc.wedge != nullptr && bc.wedge->inside(p.x, p.y)) {
     // Lift the particle just above the ramp surface.
     p.y = bc.wedge->surface_y(p.x) + 1e-9;
     if (p.y >= bc.y_max) p.y = bc.y_max - 1e-9;

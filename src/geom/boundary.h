@@ -1,11 +1,12 @@
 // Wind-tunnel boundary system (paper: "Boundary Conditions" and "Particle
 // Motion and Boundary Interaction").
 //
-// Hard boundaries: tunnel floor/ceiling (specular), the wedge body (specular
-// by default; the paper's future-work no-slip diffuse isothermal/adiabatic
-// walls are implemented as options), and the upstream *plunger* — a hard
-// boundary moving with the freestream that is withdrawn when it crosses a
-// trigger point, the void behind it being refilled with reservoir particles.
+// Hard boundaries: tunnel floor/ceiling (specular), the body (the paper's
+// wedge, or any geom::Body; specular by default, with the paper's
+// future-work no-slip diffuse isothermal/adiabatic walls as options), and
+// the upstream *plunger* — a hard boundary moving with the freestream that
+// is withdrawn when it crosses a trigger point, the void behind it being
+// refilled with reservoir particles.
 //
 // Soft boundaries: the downstream sink (supersonic outflow; exiting particles
 // are removed to the reservoir) and, alternatively to the plunger, a soft
@@ -14,15 +15,10 @@
 
 #include <cstdint>
 
+#include "geom/body.h"
 #include "geom/wedge.h"
 
 namespace cmdsmc::geom {
-
-enum class WallModel {
-  kSpecular,           // inviscid: mirror reflection (paper's validation mode)
-  kDiffuseIsothermal,  // full accommodation to a fixed wall temperature
-  kDiffuseAdiabatic,   // diffuse directions, particle energy preserved
-};
 
 enum class UpstreamMode {
   kPlunger,     // hard moving boundary (the paper's parallel-machine choice)
@@ -30,22 +26,27 @@ enum class UpstreamMode {
 };
 
 // The upstream plunger.  Starts at x = 0, advances with the freestream, and
-// retracts once it crosses `trigger`, reporting the void width to refill.
+// is withdrawn the instant it crosses `trigger`.
 struct Plunger {
   double x = 0.0;
   double speed = 0.0;
   double trigger = 3.0;
 
   // Advances one time step.  Returns the void width (> 0) if the plunger
-  // retracted this step, else 0.
+  // retracted this step, else 0.  Withdrawal happens at the crossing moment,
+  // so each void is exactly `trigger` wide and the overshoot carries over as
+  // the restarted plunger's head start (returning the post-overshoot x would
+  // conflate the trigger point with the void width).  When speed > trigger
+  // the plunger can cross more than once per step; the loop keeps x bounded
+  // by trigger instead of drifting downstream.
   double advance() {
     x += speed;
-    if (x >= trigger) {
-      const double width = x;
-      x = 0.0;
-      return width;
+    double width = 0.0;
+    while (x >= trigger) {
+      width += trigger;
+      x -= trigger;
     }
-    return 0.0;
+    return width;
   }
 };
 
@@ -56,14 +57,39 @@ struct ParticleState {
   double r0 = 0.0, r1 = 0.0;
 };
 
+// One reflection off a body face, in wall-transfer convention: dp/de are the
+// momentum/energy the particle *gave to the wall* (incoming minus outgoing).
+struct WallEvent {
+  int segment = -1;
+  double dpx = 0.0;
+  double dpy = 0.0;
+  double de = 0.0;
+};
+
+// Fixed-capacity per-particle recorder (a particle can touch the body more
+// than once per step near corners; 4 boundary passes bound the count).
+struct WallEventBuffer {
+  static constexpr int kCapacity = 4;
+  int count = 0;
+  WallEvent events[kCapacity];
+
+  void add(int segment, double dpx, double dpy, double de) {
+    if (count < kCapacity) events[count++] = WallEvent{segment, dpx, dpy, de};
+  }
+};
+
 struct BoundaryConfig {
   double x_max = 0.0;  // downstream sink plane
   double y_max = 0.0;  // ceiling
   double z_max = 0.0;  // 3D side walls; <= 0 disables z handling
+  // Body geometry: the generalized Body takes precedence when set; the
+  // legacy Wedge pointer remains for the wedge-specific code path.
+  const Body* body = nullptr;
   const Wedge* wedge = nullptr;
   double plunger_x = 0.0;      // current plunger face (0 = inactive wall at 0)
   double plunger_speed = 0.0;  // freestream speed (for moving-frame reflect)
   bool plunger_active = false;
+  // Wall model of the legacy wedge path (Body segments carry their own).
   WallModel wall = WallModel::kSpecular;
   double wall_sigma = 0.0;  // thermal std dev of diffuse walls
   // Closed-box mode: the downstream plane becomes a specular wall instead of
@@ -74,8 +100,10 @@ struct BoundaryConfig {
 // Applies every wall/body interaction to a tentatively moved particle.
 // Returns false if the particle left through the downstream sink (caller
 // removes it to the reservoir).  `rand_bits` seeds any sampling needed by
-// diffuse walls.
+// diffuse walls.  When `events` is non-null, every body-face reflection is
+// recorded there for surface-flux accumulation.
 bool enforce_boundaries(ParticleState& p, const BoundaryConfig& bc,
-                        std::uint64_t rand_bits);
+                        std::uint64_t rand_bits,
+                        WallEventBuffer* events = nullptr);
 
 }  // namespace cmdsmc::geom

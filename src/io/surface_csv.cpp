@@ -1,0 +1,32 @@
+#include "io/surface_csv.h"
+
+#include <fstream>
+#include <stdexcept>
+
+namespace cmdsmc::io {
+
+void write_surface_csv(std::ostream& os, const core::SurfaceStats& s,
+                       bool include_embedded) {
+  os << "# samples=" << s.samples << " p_inf=" << s.p_inf
+     << " q_inf=" << s.q_inf << " cd=" << s.cd << " cl=" << s.cl
+     << " heat=" << s.heat_total << "\n";
+  os << "segment,x,y,nx,ny,length,hits_per_step,p,tau,q,cp,cf,ch\n";
+  for (std::size_t i = 0; i < s.segments.size(); ++i) {
+    const core::SurfaceSegmentStats& seg = s.segments[i];
+    if (seg.embedded && !include_embedded) continue;
+    os << i << "," << seg.x << "," << seg.y << "," << seg.nx << "," << seg.ny
+       << "," << seg.length << "," << seg.hits_per_step << "," << seg.p << ","
+       << seg.tau << "," << seg.q << "," << seg.cp << "," << seg.cf << ","
+       << seg.ch << "\n";
+  }
+}
+
+void write_surface_csv_file(const std::string& path,
+                            const core::SurfaceStats& s,
+                            bool include_embedded) {
+  std::ofstream os(path);
+  if (!os) throw std::runtime_error("write_surface_csv: cannot open " + path);
+  write_surface_csv(os, s, include_embedded);
+}
+
+}  // namespace cmdsmc::io

@@ -1,0 +1,24 @@
+// CSV emission of per-segment surface quantities (Cp / Cf / Ch
+// distributions) with the integrated coefficients in a comment header.
+#pragma once
+
+#include <ostream>
+#include <string>
+
+#include "core/surface_sampling.h"
+
+namespace cmdsmc::io {
+
+// Columns: segment, x, y, nx, ny, length, hits_per_step, p, tau, q, cp, cf,
+// ch.  Embedded segments (tunnel-wall edges) are skipped unless
+// `include_embedded` is set.  A `# cd=... cl=... heat=... samples=...`
+// comment line precedes the header.
+void write_surface_csv(std::ostream& os, const core::SurfaceStats& s,
+                       bool include_embedded = false);
+
+// Writes to the given path; throws std::runtime_error on failure.
+void write_surface_csv_file(const std::string& path,
+                            const core::SurfaceStats& s,
+                            bool include_embedded = false);
+
+}  // namespace cmdsmc::io

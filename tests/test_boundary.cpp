@@ -197,6 +197,36 @@ TEST(Plunger, AdvanceAndRetract) {
     ++steps;
   }
   EXPECT_EQ(steps, 4);  // 0.8 * 4 = 3.2 >= 3.0
-  EXPECT_NEAR(width, 3.2, 1e-12);
-  EXPECT_EQ(pl.x, 0.0);
+  // Withdrawal happens at the trigger crossing: the void is exactly
+  // `trigger` wide and the 0.2 overshoot carries over into the next cycle
+  // (the old behavior returned 3.2, conflating trigger and width).
+  EXPECT_NEAR(width, 3.0, 1e-12);
+  EXPECT_NEAR(pl.x, 0.2, 1e-12);
+}
+
+TEST(Plunger, SpeedAboveTriggerStaysBoundedAndConservesFlux) {
+  // With speed > trigger the plunger crosses the trigger every step (even
+  // multiple times); x must stay bounded by trigger instead of drifting
+  // downstream, and the swept volume must still all be reported.
+  geom::Plunger pl;
+  pl.speed = 1.8;
+  pl.trigger = 0.5;
+  double injected = 0.0;
+  for (int s = 0; s < 200; ++s) {
+    injected += pl.advance();
+    ASSERT_LT(pl.x, pl.trigger);
+    ASSERT_GE(pl.x, 0.0);
+  }
+  EXPECT_NEAR(injected + pl.x, pl.speed * 200, 1e-9);
+}
+
+TEST(Plunger, SweptVolumeMatchesInjectedVolumeOverManyCycles) {
+  geom::Plunger pl;
+  pl.speed = 0.7;
+  pl.trigger = 3.0;
+  double injected = 0.0;
+  const int nsteps = 1000;
+  for (int s = 0; s < nsteps; ++s) injected += pl.advance();
+  // Flux conservation: total refilled void == total distance travelled.
+  EXPECT_NEAR(injected + pl.x, pl.speed * nsteps, 1e-9);
 }
