@@ -35,21 +35,31 @@ RunScale scale_from_env(RunScale d) {
   return d;
 }
 
+scenario::ScenarioSpec spec_from_env(const std::string& name, RunScale d) {
+  d = scale_from_env(d);
+  scenario::ScenarioSpec spec = scenario::get_scenario(name);
+  spec.config.particles_per_cell = d.particles_per_cell;
+  spec.schedule.steady_steps = d.steady_steps;
+  spec.schedule.avg_steps = d.avg_steps;
+  spec.sinks.clear();
+  return spec;
+}
+
+scenario::RunResult run_spec(scenario::ScenarioSpec spec) {
+  scenario::Runner runner(std::move(spec));
+  return runner.run();
+}
+
 core::SimConfig paper_wedge_config(const RunScale& scale, double lambda_inf) {
-  core::SimConfig cfg;
-  cfg.nx = 98;
-  cfg.ny = 64;
-  cfg.mach = 4.0;
-  // sigma chosen so the rarefied case satisfies the paper's dt <= t_c/3..4
-  // validity constraint (P_inf ~ 0.29, post-shock P < 1: no clipping).
-  cfg.sigma = 0.09;
-  cfg.lambda_inf = lambda_inf;
-  cfg.particles_per_cell = scale.particles_per_cell;
-  cfg.has_wedge = true;
-  cfg.wedge_x0 = 20.0;
-  cfg.wedge_base = 25.0;
-  cfg.wedge_angle_deg = 30.0;
-  return cfg;
+  scenario::ScenarioSpec spec = scenario::get_scenario(
+      lambda_inf > 0.0 ? "wedge-mach4-rarefied" : "wedge-mach4");
+  spec.config.lambda_inf = lambda_inf;
+  spec.config.particles_per_cell = scale.particles_per_cell;
+  return spec.build_config();
+}
+
+geom::Wedge analysis_wedge(const core::SimConfig& cfg) {
+  return geom::Wedge(cfg.wedge_x0, cfg.wedge_base, cfg.wedge_angle_rad());
 }
 
 core::FieldStats run_and_average(core::SimulationD& sim, const RunScale& s) {

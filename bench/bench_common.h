@@ -1,6 +1,8 @@
 // Shared plumbing for the table/figure benches: scaled-down defaults with
-// environment overrides, the paper's wedge wind-tunnel configuration, and
-// consistent "paper vs measured" reporting.
+// environment overrides, registry-backed scenario specs, and consistent
+// "paper vs measured" reporting.  The wind-tunnel configurations themselves
+// live in the scenario registry (src/scenario) — benches look them up by
+// name instead of hand-rolling SimConfigs.
 #pragma once
 
 #include <string>
@@ -8,6 +10,9 @@
 #include "core/config.h"
 #include "core/sampling.h"
 #include "core/simulation.h"
+#include "geom/wedge.h"
+#include "scenario/runner.h"
+#include "scenario/scenario.h"
 
 namespace cmdsmc::bench {
 
@@ -21,11 +26,24 @@ struct RunScale {
 // CMDSMC_PAPER_SCALE=1 as a shorthand for the full paper parameters).
 RunScale scale_from_env(RunScale defaults = {});
 
-// The paper's wind tunnel: 98x64 grid, 30 degree wedge 20 cells from the
-// upstream boundary, 25 cells of base, Mach 4 diatomic Maxwell molecules.
+// Registry scenario with the env scale applied and file sinks cleared
+// (benches report to stdout and write their own CSVs).
+scenario::ScenarioSpec spec_from_env(const std::string& name,
+                                     RunScale defaults = {});
+
+// Standard warmup + averaging run of a spec through the Runner.
+scenario::RunResult run_spec(scenario::ScenarioSpec spec);
+
+// The paper's wind tunnel (98x64 grid, 30 degree wedge, Mach 4), from the
+// wedge-mach4[-rarefied] registry entries; for benches that mutate the
+// config and drive Simulation directly (ablations, scaling sweeps).
 core::SimConfig paper_wedge_config(const RunScale& scale, double lambda_inf);
 
-// Runs the transient then accumulates `avg_steps` of time averaging.
+// The wedge outline of a config, for io/shock_analysis.
+geom::Wedge analysis_wedge(const core::SimConfig& cfg);
+
+// Runs the transient then accumulates `avg_steps` of time averaging, for a
+// Simulation the bench constructed itself.
 core::FieldStats run_and_average(core::SimulationD& sim, const RunScale& s);
 core::FieldStats run_and_average_fixed(core::SimulationF& sim,
                                        const RunScale& s);

@@ -1,7 +1,9 @@
 // Figure 1: density contours for near-continuum Mach 4 flow over a
-// 30-degree wedge.  Paper validation: shock angle 45 deg, post-shock
+// 30-degree wedge — the `wedge-mach4` registry scenario through the
+// standard Runner.  Paper validation: shock angle 45 deg, post-shock
 // density 3.7x freestream (Rankine-Hugoniot), shock thickness ~3 cell
 // widths, correct Prandtl-Meyer fan at the corner, wake shock present.
+#include <cmath>
 #include <cstdio>
 
 #include "bench_common.h"
@@ -13,14 +15,15 @@
 int main() {
   using namespace cmdsmc;
   namespace th = physics::theory;
-  const auto scale = bench::scale_from_env();
-  auto cfg = bench::paper_wedge_config(scale, /*lambda_inf=*/0.0);
+  auto spec = bench::spec_from_env("wedge-mach4");
 
   std::printf("Figure 1: near-continuum Mach 4 / 30 deg wedge "
               "(%.0f ppc, %d+%d steps)\n",
-              cfg.particles_per_cell, scale.steady_steps, scale.avg_steps);
-  core::SimulationD sim(cfg);
-  const auto field = bench::run_and_average(sim, scale);
+              spec.config.particles_per_cell, spec.schedule.steady_steps,
+              spec.schedule.avg_steps);
+  const auto r = bench::run_spec(spec);
+  const auto& field = r.field;
+  const auto& cfg = r.config;
 
   io::ContourOptions opt;
   opt.vmax = 4.5;
@@ -28,10 +31,11 @@ int main() {
   io::write_field_csv_file("fig1_density.csv", field, field.density, "rho");
   std::printf("full field written to fig1_density.csv\n");
 
-  const auto fit = io::measure_oblique_shock(field, *sim.wedge());
+  const geom::Wedge wedge = bench::analysis_wedge(cfg);
+  const auto fit = io::measure_oblique_shock(field, wedge);
   const double beta = th::oblique_shock_angle(cfg.wedge_angle_rad(), cfg.mach);
   const double ratio = th::oblique_shock_density_ratio(beta, cfg.mach);
-  const auto wake = io::measure_wake(field, *sim.wedge());
+  const auto wake = io::measure_wake(field, wedge);
 
   bench::print_header("Figure 1 (paper quotes rounded theory values)");
   bench::print_row("shock angle [deg]", 45.0, fit.angle_deg,
@@ -50,8 +54,8 @@ int main() {
   // Prandtl-Meyer fan at the corner: measured vs isentropic prediction.
   const double m2 =
       th::oblique_shock_downstream_mach(beta, cfg.wedge_angle_rad(), cfg.mach);
-  const auto fan = io::expansion_fan_check(field, *sim.wedge(),
-                                           fit.density_ratio, m2);
+  const auto fan =
+      io::expansion_fan_check(field, wedge, fit.density_ratio, m2);
   std::printf("\nPrandtl-Meyer fan at the wedge corner (M_surface = %.2f):\n",
               m2);
   std::printf("%8s %18s %18s\n", "turn", "rho/rho2 measured", "theory");

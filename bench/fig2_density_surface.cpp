@@ -1,8 +1,9 @@
 // Figure 2: perspective view of the density *surface* for the
-// near-continuum solution.  The quantitative content of the figure is the
-// fully developed wake shock where the corner-expanded flow meets the
-// tunnel floor; this bench regenerates the surface (as CSV + a coarse
-// height-map) and the wake-shock evidence.
+// near-continuum solution (the `wedge-mach4` registry scenario).  The
+// quantitative content of the figure is the fully developed wake shock
+// where the corner-expanded flow meets the tunnel floor; this bench
+// regenerates the surface (as CSV + a coarse height-map) and the
+// wake-shock evidence.
 #include <cstdio>
 
 #include "bench_common.h"
@@ -12,13 +13,12 @@
 
 int main() {
   using namespace cmdsmc;
-  const auto scale = bench::scale_from_env();
-  auto cfg = bench::paper_wedge_config(scale, /*lambda_inf=*/0.0);
+  auto spec = bench::spec_from_env("wedge-mach4");
 
   std::printf("Figure 2: density surface, near continuum (%.0f ppc)\n",
-              cfg.particles_per_cell);
-  core::SimulationD sim(cfg);
-  const auto field = bench::run_and_average(sim, scale);
+              spec.config.particles_per_cell);
+  const auto r = bench::run_spec(spec);
+  const auto& field = r.field;
   io::write_field_csv_file("fig2_density_surface.csv", field, field.density,
                            "rho");
   std::printf("surface written to fig2_density_surface.csv "
@@ -39,7 +39,7 @@ int main() {
     std::printf("\n");
   }
 
-  const auto wake = io::measure_wake(field, *sim.wedge());
+  const auto wake = io::measure_wake(field, bench::analysis_wedge(r.config));
   bench::print_header("Figure 2");
   bench::print_text_row("wake shock (floor recompression)", "present",
                         wake.shock_present ? "present" : "absent",

@@ -1,9 +1,9 @@
 // Figure 3: expanded view of the density surface in the stagnation region
-// by the wedge.  The paper uses it to study how the simulation approaches
-// the theoretical density rise behind the shock; the jagged edge in the
-// original figure is the fractional-cell-volume artifact of its plotting
-// package (the solution itself used proper cut-cell volumes, as does this
-// code).
+// by the wedge (the `wedge-mach4` registry scenario).  The paper uses it
+// to study how the simulation approaches the theoretical density rise
+// behind the shock; the jagged edge in the original figure is the
+// fractional-cell-volume artifact of its plotting package (the solution
+// itself used proper cut-cell volumes, as does this code).
 #include <cstdio>
 
 #include "bench_common.h"
@@ -15,13 +15,13 @@
 int main() {
   using namespace cmdsmc;
   namespace th = physics::theory;
-  const auto scale = bench::scale_from_env();
-  auto cfg = bench::paper_wedge_config(scale, /*lambda_inf=*/0.0);
+  auto spec = bench::spec_from_env("wedge-mach4");
 
   std::printf("Figure 3: stagnation-region zoom, near continuum (%.0f ppc)\n",
-              cfg.particles_per_cell);
-  core::SimulationD sim(cfg);
-  const auto field = bench::run_and_average(sim, scale);
+              spec.config.particles_per_cell);
+  const auto r = bench::run_spec(spec);
+  const auto& field = r.field;
+  const auto& cfg = r.config;
 
   // Zoom window: the compression side of the wedge.
   io::ContourOptions opt;
@@ -37,7 +37,8 @@ int main() {
 
   const double beta = th::oblique_shock_angle(cfg.wedge_angle_rad(), cfg.mach);
   const double ratio = th::oblique_shock_density_ratio(beta, cfg.mach);
-  const double peak = io::stagnation_peak_density(field, *sim.wedge());
+  const geom::Wedge wedge = bench::analysis_wedge(cfg);
+  const double peak = io::stagnation_peak_density(field, wedge);
 
   bench::print_header("Figure 3");
   bench::print_row("peak density near surface", ratio, peak,
@@ -47,7 +48,7 @@ int main() {
   // the paper studies.
   const int ix = static_cast<int>(cfg.wedge_x0 + 0.7 * cfg.wedge_base);
   std::printf("\nwall-normal density profile at x = %d:\n", ix);
-  const int y0 = static_cast<int>(sim.wedge()->surface_y(ix + 0.5));
+  const int y0 = static_cast<int>(wedge.surface_y(ix + 0.5));
   for (int iy = y0; iy < y0 + 12 && iy < field.grid.ny; ++iy)
     std::printf("  y=%2d  rho=%.3f\n", iy, field.at(field.density, ix, iy));
   return 0;

@@ -1,26 +1,28 @@
 // Figure 4: density contours for rarefied Mach 4 flow over a 30-degree
-// wedge.  Freestream mean free path 0.5 cell widths => Kn = 0.02 over the
-// 25-cell wedge, Re ~ 600.  Paper: shock thickness 5 cells, wider than the
-// near-continuum 3 cells.
+// wedge (the `wedge-mach4-rarefied` registry scenario).  Freestream mean
+// free path 0.5 cell widths => Kn = 0.02 over the 25-cell wedge, Re ~ 600.
+// Paper: shock thickness 5 cells, wider than the near-continuum 3 cells.
 #include <cstdio>
 
 #include "bench_common.h"
 #include "io/contour.h"
 #include "io/csv.h"
 #include "io/shock_analysis.h"
+#include "physics/selection.h"
 #include "physics/theory.h"
 
 int main() {
   using namespace cmdsmc;
   namespace th = physics::theory;
-  const auto scale = bench::scale_from_env();
-  auto cfg = bench::paper_wedge_config(scale, /*lambda_inf=*/0.5);
+  auto spec = bench::spec_from_env("wedge-mach4-rarefied");
 
   std::printf("Figure 4: rarefied Mach 4 / 30 deg wedge, lambda = 0.5 cells "
               "(%.0f ppc, %d+%d steps)\n",
-              cfg.particles_per_cell, scale.steady_steps, scale.avg_steps);
-  core::SimulationD sim(cfg);
-  const auto field = bench::run_and_average(sim, scale);
+              spec.config.particles_per_cell, spec.schedule.steady_steps,
+              spec.schedule.avg_steps);
+  const auto r = bench::run_spec(spec);
+  const auto& field = r.field;
+  const auto& cfg = r.config;
 
   io::ContourOptions opt;
   opt.vmax = 4.5;
@@ -28,9 +30,10 @@ int main() {
   io::write_field_csv_file("fig4_density.csv", field, field.density, "rho");
   std::printf("full field written to fig4_density.csv\n");
 
-  const auto fit = io::measure_oblique_shock(field, *sim.wedge());
+  const geom::Wedge wedge = bench::analysis_wedge(cfg);
+  const auto fit = io::measure_oblique_shock(field, wedge);
   const double kn = th::knudsen_number(cfg.lambda_inf, cfg.wedge_base);
-  const auto wake = io::measure_wake(field, *sim.wedge());
+  const auto wake = io::measure_wake(field, wedge);
 
   bench::print_header("Figure 4");
   bench::print_row("Knudsen number", 0.02, kn, "lambda/wedge length");
@@ -45,6 +48,8 @@ int main() {
   bench::print_text_row("wake shock", "washed out",
                         wake.shock_present ? "present" : "washed out", "");
   bench::print_kv("wake base density", wake.base_density);
-  bench::print_kv("selection P_inf", sim.selection_rule().pc_inf);
+  const auto rule = physics::SelectionRule::make(
+      cfg.gas, cfg.lambda_inf, cfg.sigma, cfg.particles_per_cell);
+  bench::print_kv("selection P_inf", rule.pc_inf);
   return 0;
 }

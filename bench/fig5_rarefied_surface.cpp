@@ -1,8 +1,9 @@
 // Figure 5: density surface for the rarefied (lambda = 0.5) solution.
 // Paper: "there is no longer a wake shock ... the wake region is highly
 // rarefied and the mean free path in this region is great enough that the
-// wake shock is completely washed out."  This bench runs BOTH regimes and
-// reports the wake contrast.
+// wake shock is completely washed out."  This bench runs BOTH registry
+// scenarios (wedge-mach4 and wedge-mach4-rarefied) and reports the wake
+// contrast.
 #include <cstdio>
 
 #include "bench_common.h"
@@ -11,21 +12,20 @@
 
 int main() {
   using namespace cmdsmc;
-  const auto scale = bench::scale_from_env();
 
   std::printf("Figure 5: rarefied density surface + wake contrast\n");
-  auto cfg_r = bench::paper_wedge_config(scale, 0.5);
-  core::SimulationD rare(cfg_r);
-  const auto field_r = bench::run_and_average(rare, scale);
+  const auto rare = bench::run_spec(bench::spec_from_env("wedge-mach4-rarefied"));
+  const auto& field_r = rare.field;
   io::write_field_csv_file("fig5_density_surface.csv", field_r,
                            field_r.density, "rho");
 
-  auto cfg_c = bench::paper_wedge_config(scale, 0.0);
-  core::SimulationD cont(cfg_c);
-  const auto field_c = bench::run_and_average(cont, scale);
+  const auto cont = bench::run_spec(bench::spec_from_env("wedge-mach4"));
+  const auto& field_c = cont.field;
 
-  const auto wake_r = io::measure_wake(field_r, *rare.wedge());
-  const auto wake_c = io::measure_wake(field_c, *cont.wedge());
+  const auto wake_r =
+      io::measure_wake(field_r, bench::analysis_wedge(rare.config));
+  const auto wake_c =
+      io::measure_wake(field_c, bench::analysis_wedge(cont.config));
 
   bench::print_header("Figure 5 (vs figure 2)");
   bench::print_text_row("wake shock, near continuum", "present",

@@ -1,6 +1,7 @@
-// Figure 6: stagnation-region zoom for the rarefied solution.  Comparing
-// with figure 3 shows the effect of rarefaction on the shock: the rise to
-// the plateau is wider and smoother.
+// Figure 6: stagnation-region zoom for the rarefied solution (registry
+// scenarios wedge-mach4-rarefied vs wedge-mach4).  Comparing with figure 3
+// shows the effect of rarefaction on the shock: the rise to the plateau is
+// wider and smoother.
 #include <cstdio>
 
 #include "bench_common.h"
@@ -10,16 +11,12 @@
 
 int main() {
   using namespace cmdsmc;
-  const auto scale = bench::scale_from_env();
 
   std::printf("Figure 6: stagnation zoom, rarefied vs near continuum\n");
-  auto cfg_r = bench::paper_wedge_config(scale, 0.5);
-  core::SimulationD rare(cfg_r);
-  const auto field_r = bench::run_and_average(rare, scale);
-
-  auto cfg_c = bench::paper_wedge_config(scale, 0.0);
-  core::SimulationD cont(cfg_c);
-  const auto field_c = bench::run_and_average(cont, scale);
+  const auto rare = bench::run_spec(bench::spec_from_env("wedge-mach4-rarefied"));
+  const auto cont = bench::run_spec(bench::spec_from_env("wedge-mach4"));
+  const auto& field_r = rare.field;
+  const auto& field_c = cont.field;
 
   io::ContourOptions opt;
   opt.vmax = 4.5;
@@ -31,10 +28,11 @@ int main() {
   io::write_field_csv_file("fig6_stagnation.csv", field_r, field_r.density,
                            "rho");
 
-  const auto fit_r = io::measure_oblique_shock(field_r, *rare.wedge());
-  const auto fit_c = io::measure_oblique_shock(field_c, *cont.wedge());
-  const double peak_r = io::stagnation_peak_density(field_r, *rare.wedge());
-  const double peak_c = io::stagnation_peak_density(field_c, *cont.wedge());
+  const geom::Wedge wedge = bench::analysis_wedge(rare.config);
+  const auto fit_r = io::measure_oblique_shock(field_r, wedge);
+  const auto fit_c = io::measure_oblique_shock(field_c, wedge);
+  const double peak_r = io::stagnation_peak_density(field_r, wedge);
+  const double peak_c = io::stagnation_peak_density(field_c, wedge);
 
   bench::print_header("Figure 6 (vs figure 3)");
   bench::print_row("stagnation peak density, rarefied", 3.7, peak_r, "");
@@ -45,7 +43,7 @@ int main() {
                   fit_c.thickness_vertical);
   std::printf("\nwall-normal rise at mid-wedge (x = 37):\n");
   std::printf("%6s %12s %12s\n", "y", "continuum", "rarefied");
-  const int y0 = static_cast<int>(rare.wedge()->surface_y(37.5));
+  const int y0 = static_cast<int>(wedge.surface_y(37.5));
   for (int iy = y0; iy < y0 + 14 && iy < field_r.grid.ny; ++iy)
     std::printf("%6d %12.3f %12.3f\n", iy, field_c.at(field_c.density, 37, iy),
                 field_r.at(field_r.density, 37, iy));

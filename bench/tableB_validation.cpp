@@ -1,6 +1,7 @@
 // Table B (in-text, "Results"): the consolidated validation numbers the
 // paper states for its solutions -- run set-up, shock angle, density rise,
-// shock widths in both regimes, wake behaviour.
+// shock widths in both regimes, wake behaviour.  Both regimes are the
+// registry scenarios run through the standard Runner.
 #include <cstdio>
 
 #include "bench_common.h"
@@ -13,29 +14,28 @@ int main() {
   const auto scale = bench::scale_from_env();
 
   std::printf("Table B: consolidated validation (both regimes)\n");
-  auto cfg_c = bench::paper_wedge_config(scale, 0.0);
-  core::SimulationD cont(cfg_c);
-  const auto fc = bench::run_and_average(cont, scale);
+  const auto cont = bench::run_spec(bench::spec_from_env("wedge-mach4"));
+  const auto rare =
+      bench::run_spec(bench::spec_from_env("wedge-mach4-rarefied"));
+  const auto& fc = cont.field;
+  const auto& fr = rare.field;
 
-  auto cfg_r = bench::paper_wedge_config(scale, 0.5);
-  core::SimulationD rare(cfg_r);
-  const auto fr = bench::run_and_average(rare, scale);
-
-  const auto fit_c = io::measure_oblique_shock(fc, *cont.wedge());
-  const auto fit_r = io::measure_oblique_shock(fr, *rare.wedge());
-  const auto wake_c = io::measure_wake(fc, *cont.wedge());
-  const auto wake_r = io::measure_wake(fr, *rare.wedge());
+  const geom::Wedge wedge = bench::analysis_wedge(cont.config);
+  const auto fit_c = io::measure_oblique_shock(fc, wedge);
+  const auto fit_r = io::measure_oblique_shock(fr, wedge);
+  const auto wake_c = io::measure_wake(fc, wedge);
+  const auto wake_r = io::measure_wake(fr, wedge);
 
   bench::print_header("run set-up (paper values are the full-size run)");
   bench::print_row("total particles", 512.0 * 1024,
-                   static_cast<double>(cont.total_count()),
-                   "scaled by CMDSMC_PPC");
+                   static_cast<double>(cont.total_count), "scaled by "
+                   "CMDSMC_PPC");
   bench::print_row("particles in flow", 460000.0,
-                   static_cast<double>(cont.flow_count()), "");
+                   static_cast<double>(cont.flow_count), "");
   bench::print_row("reservoir particles", 45000.0,
-                   static_cast<double>(cont.reservoir_count()), "");
-  bench::print_row("grid nx", 98.0, cont.grid().nx, "");
-  bench::print_row("grid ny", 64.0, cont.grid().ny, "");
+                   static_cast<double>(cont.reservoir_count), "");
+  bench::print_row("grid nx", 98.0, cont.config.nx, "");
+  bench::print_row("grid ny", 64.0, cont.config.ny, "");
   bench::print_row("steady-state steps", 1200.0, scale.steady_steps, "");
   bench::print_row("averaging steps", 2000.0, scale.avg_steps, "");
 
@@ -48,7 +48,7 @@ int main() {
                         wake_c.shock_present ? "present" : "absent", "");
 
   bench::print_header("rarefied, lambda = 0.5 (figs. 4-6)");
-  const double kn = th::knudsen_number(0.5, cfg_r.wedge_base);
+  const double kn = th::knudsen_number(0.5, rare.config.wedge_base);
   bench::print_row("Knudsen number", 0.02, kn, "");
   bench::print_row("shock angle [deg]", 45.0, fit_r.angle_deg, "");
   bench::print_row("density ratio", 3.7, fit_r.density_ratio, "");
@@ -62,8 +62,8 @@ int main() {
   // Mass bookkeeping sanity for the record.
   bench::print_header("bookkeeping");
   bench::print_row("synthesized fallback particles", 0.0,
-                   static_cast<double>(cont.counters().synthesized +
-                                       rare.counters().synthesized),
+                   static_cast<double>(cont.counters.synthesized +
+                                       rare.counters.synthesized),
                    "reservoir never ran dry if 0");
   return 0;
 }

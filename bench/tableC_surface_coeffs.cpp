@@ -1,7 +1,8 @@
 // Table C (extension, not in the paper): surface-coefficient validation of
-// the generalized body subsystem.  The paper's figures stop at field
-// quantities; this table checks the per-segment momentum/energy bookkeeping
-// against the classical references available in closed form:
+// the generalized body subsystem, driven entirely through registry
+// scenarios with key=value-style overrides.  The paper's figures stop at
+// field quantities; this table checks the per-segment momentum/energy
+// bookkeeping against the classical references available in closed form:
 //   - specular wedge ramp Cp vs oblique-shock theory,
 //   - wedge drag vs the ramp-pressure estimate Cd = Cp tan(theta),
 //   - blunt cylinder stagnation Cp and drag vs the Newtonian impact limit.
@@ -15,20 +16,18 @@
 int main() {
   using namespace cmdsmc;
   namespace th = physics::theory;
-  const auto scale = bench::scale_from_env();
 
   std::printf("Table C: surface coefficients (generalized-body extension)\n");
 
   // --- Specular wedge via Body::Wedge -------------------------------------
-  auto cfg = bench::paper_wedge_config(scale, 0.0);
-  cfg.body = geom::Body::Wedge(cfg.wedge_x0, cfg.wedge_base,
-                               cfg.wedge_angle_rad());
-  core::SimulationD wedge(cfg);
-  wedge.run(scale.steady_steps);
-  wedge.set_sampling(true);
-  wedge.set_surface_sampling(true);
-  wedge.run(scale.avg_steps);
-  const core::SurfaceStats sw = wedge.surface();
+  auto spec = bench::spec_from_env("wedge-mach4");
+  scenario::apply_override(spec, "body.kind", "wedge");
+  scenario::apply_override(spec, "body.x0", "20");
+  scenario::apply_override(spec, "body.chord", "25");
+  scenario::apply_override(spec, "body.angle_deg", "30");
+  const auto wedge_run = bench::run_spec(spec);
+  const core::SurfaceStats& sw = *wedge_run.surface;
+  const core::SimConfig& cfg = wedge_run.config;
 
   const double theta = cfg.wedge_angle_rad();
   const double beta = th::oblique_shock_angle(theta, cfg.mach);
@@ -50,42 +49,31 @@ int main() {
   bench::print_kv("lift Cl (downforce)", sw.cl);
 
   // --- Diffuse cold-wall wedge ---------------------------------------------
-  auto cfg_d = cfg;
-  cfg_d.body->set_wall_model(geom::WallModel::kDiffuseIsothermal,
-                             cfg.sigma * std::sqrt(0.5));
-  core::SimulationD dwedge(cfg_d);
-  dwedge.run(scale.steady_steps);
-  dwedge.set_surface_sampling(true);
-  dwedge.run(scale.avg_steps);
-  const core::SurfaceStats sd = dwedge.surface();
+  auto spec_d = bench::spec_from_env("wedge-mach4");
+  scenario::apply_override(spec_d, "body.kind", "wedge");
+  scenario::apply_override(spec_d, "body.x0", "20");
+  scenario::apply_override(spec_d, "body.chord", "25");
+  scenario::apply_override(spec_d, "body.angle_deg", "30");
+  scenario::apply_override(spec_d, "body.wall", "diffuse_isothermal");
+  scenario::apply_override(spec_d, "body.twall", "0.5");
+  const auto dwedge = bench::run_spec(spec_d);
+  const core::SurfaceStats& sd = *dwedge.surface;
   bench::print_header("diffuse cold-wall wedge (T_w = T_inf / 2)");
   bench::print_kv("ramp Cp", sd.segments[2].cp);
   bench::print_kv("ramp Cf", sd.segments[2].cf);
   bench::print_kv("ramp Ch", sd.segments[2].ch);
   bench::print_kv("drag Cd (friction adds to pressure)", sd.cd);
   bench::print_kv("integrated heating", sd.heat_total);
+  bench::print_kv("incident energy flux", sd.q_incident_total);
+  bench::print_kv("reflected energy flux", sd.q_reflected_total);
 
   // --- Blunt cylinder -------------------------------------------------------
-  core::SimConfig cyl_cfg;
-  cyl_cfg.nx = 96;
-  cyl_cfg.ny = 64;
-  cyl_cfg.mach = 6.0;
-  cyl_cfg.sigma = 0.12;
-  cyl_cfg.lambda_inf = 0.5;
-  cyl_cfg.particles_per_cell = scale.particles_per_cell;
-  cyl_cfg.body = geom::Body::Cylinder(32.0, 32.0, 8.0, 36);
-  cyl_cfg.body->set_wall_model(geom::WallModel::kDiffuseIsothermal,
-                               cyl_cfg.sigma);
-  core::SimulationD cyl(cyl_cfg);
-  cyl.run(scale.steady_steps);
-  cyl.set_surface_sampling(true);
-  cyl.run(scale.avg_steps);
-  const core::SurfaceStats sc = cyl.surface();
-  double cp_max = 0.0;
-  for (const auto& seg : sc.segments)
-    if (seg.cp > cp_max) cp_max = seg.cp;
+  auto spec_c = bench::spec_from_env("cylinder-mach10");
+  scenario::apply_override(spec_c, "mach", "6");
+  const auto cyl = bench::run_spec(spec_c);
+  const core::SurfaceStats& sc = *cyl.surface;
   bench::print_header("diffuse cylinder, Mach 6 (Newtonian impact limit)");
-  bench::print_row("stagnation Cp", 2.0, cp_max, "Newtonian Cp_max");
+  bench::print_row("stagnation Cp", 2.0, cyl.cp_max(), "Newtonian Cp_max");
   bench::print_row("drag Cd", 2.0 / 3.0 * 2.0, sc.cd,
                    "Newtonian 2/3 Cp_max");
   bench::print_row("lift Cl", 0.0, sc.cl, "symmetric body");

@@ -1,112 +1,48 @@
 // Mach 10 rarefied flow over a circular cylinder — the classic blunt-body
-// scenario the paper's wedge-only geometry could not express.  Demonstrates
-// the generalized Body subsystem: a faceted cylinder with diffuse-isothermal
-// walls, per-facet surface coefficients (Cp / Cf / Ch) written to CSV, and
-// integrated drag compared against the Newtonian impact estimate
+// scenario the paper's wedge-only geometry could not express, as a thin
+// wrapper over the `cylinder-mach10` registry scenario.  Prints the
+// stagnation Cp and integrated drag against the Newtonian impact estimate
 // (Cp_max sin^2 theta => Cd = (2/3) Cp_max referenced to the diameter).
 //
 // Usage:
-//   cylinder_mach10 [--mach M] [--radius R] [--facets N] [--lambda L]
-//                   [--ppc N] [--steady S] [--avg A] [--twall F]
-//                   [--out PREFIX]
-#include <cmath>
+//   cylinder_mach10 [key=value ...]
+// e.g.:
+//   cylinder_mach10 mach=8 body.twall=0.5 body.facets=48
 #include <cstdio>
-#include <cstdlib>
-#include <cstring>
-#include <string>
 
-#include "core/simulation.h"
-#include "io/contour.h"
-#include "io/csv.h"
-#include "io/surface_csv.h"
-
-namespace {
-
-double arg_double(int argc, char** argv, const char* name, double fallback) {
-  for (int i = 1; i + 1 < argc; ++i)
-    if (std::strcmp(argv[i], name) == 0) return std::atof(argv[i + 1]);
-  return fallback;
-}
-
-std::string arg_str(int argc, char** argv, const char* name,
-                    const char* fallback) {
-  for (int i = 1; i + 1 < argc; ++i)
-    if (std::strcmp(argv[i], name) == 0) return argv[i + 1];
-  return fallback;
-}
-
-}  // namespace
+#include "scenario/runner.h"
 
 int main(int argc, char** argv) {
   using namespace cmdsmc;
-
-  core::SimConfig cfg;
-  cfg.nx = 96;
-  cfg.ny = 64;
-  cfg.mach = arg_double(argc, argv, "--mach", 10.0);
-  cfg.sigma = arg_double(argc, argv, "--sigma", 0.12);
-  cfg.lambda_inf = arg_double(argc, argv, "--lambda", 0.5);
-  cfg.particles_per_cell = arg_double(argc, argv, "--ppc", 10.0);
-  cfg.seed = 0xC1C1ULL;
-
-  const double radius = arg_double(argc, argv, "--radius", 8.0);
-  const int facets =
-      static_cast<int>(arg_double(argc, argv, "--facets", 36));
-  // Wall temperature as a fraction of T_inf (cold-wall default).
-  const double twall = arg_double(argc, argv, "--twall", 1.0);
-
-  const int steady = static_cast<int>(arg_double(argc, argv, "--steady", 400));
-  const int avg = static_cast<int>(arg_double(argc, argv, "--avg", 400));
-  const std::string prefix = arg_str(argc, argv, "--out", "cylinder");
-
-  std::printf("cmdsmc cylinder: Mach %.1f, radius %.1f cells (%d facets), "
-              "lambda_inf = %g, T_wall/T_inf = %.2f\n",
-              cfg.mach, radius, facets, cfg.lambda_inf, twall);
   try {
-    cfg.body = geom::Body::Cylinder(32.0, 32.0, radius, facets);
-    cfg.body->set_wall_model(geom::WallModel::kDiffuseIsothermal,
-                             cfg.sigma * std::sqrt(twall));
-    cfg.validate();
+    scenario::ScenarioSpec spec = scenario::get_scenario("cylinder-mach10");
+    spec.output_prefix = "cylinder";
+    scenario::apply_overrides(spec, cli::parse_key_values(argc, argv, 1));
+
+    std::printf("cmdsmc cylinder: Mach %.1f, radius %.1f cells (%d facets), "
+                "lambda_inf = %g, T_wall/T_inf = %.2f\n",
+                spec.config.mach, spec.body.radius, spec.body.facets,
+                spec.config.lambda_inf, spec.body.wall_temperature_ratio);
+    scenario::Runner runner(std::move(spec));
+    runner.add_spec_sinks();
+    const scenario::RunResult r = runner.run();
+    if (!r.surface) return 0;  // body overridden away: report sink said it all
+
+    // Stagnation-point Cp and integrated drag vs the Newtonian estimate.
+    const double cp_newt = 2.0;  // classic Newtonian impact limit
+    const double cd_newt = 2.0 / 3.0 * cp_newt;  // referenced to the diameter
+    std::printf("stagnation Cp : %6.3f (Newtonian limit %.1f)\n", r.cp_max(),
+                cp_newt);
+    std::printf("drag Cd       : %6.3f (Newtonian estimate %.2f)\n",
+                r.surface->cd, cd_newt);
+    std::printf("lift Cl       : %6.3f (symmetric body: ~0)\n",
+                r.surface->cl);
+    std::printf("wall heating  : %6.3f (incident %.3f - reflected %.3f)\n",
+                r.surface->heat_total, r.surface->q_incident_total,
+                r.surface->q_reflected_total);
   } catch (const std::exception& e) {
-    std::fprintf(stderr, "invalid configuration: %s\n", e.what());
+    std::fprintf(stderr, "cylinder_mach10: %s\n", e.what());
     return 1;
   }
-
-  core::SimulationD sim(cfg);
-  std::printf("particles: %zu flow + %zu reservoir, grid %dx%d\n",
-              sim.flow_count(), sim.reservoir_count(), cfg.nx, cfg.ny);
-  std::printf("running %d steady + %d averaging steps...\n", steady, avg);
-  sim.run(steady);
-  sim.set_sampling(true);
-  sim.set_surface_sampling(true);
-  sim.run(avg);
-
-  const auto f = sim.field();
-  io::write_field_csv_file(prefix + "_density.csv", f, f.density, "rho");
-  io::write_field_csv_file(prefix + "_t_total.csv", f, f.t_total, "T");
-
-  const core::SurfaceStats s = sim.surface();
-  io::write_surface_csv_file(prefix + "_surface.csv", s);
-  std::printf("fields written to %s_{density,t_total}.csv, surface "
-              "coefficients to %s_surface.csv\n",
-              prefix.c_str(), prefix.c_str());
-
-  io::ContourOptions opt;
-  opt.vmax = 6.0;
-  std::printf("\n%s\n", io::render_ascii(f, f.density, opt).c_str());
-
-  // Stagnation-point Cp and integrated drag vs the Newtonian estimate.
-  double cp_max = 0.0;
-  for (const auto& seg : s.segments)
-    if (seg.cp > cp_max) cp_max = seg.cp;
-  const double cp_newt = 2.0;            // classic Newtonian impact limit
-  const double cd_newt = 2.0 / 3.0 * cp_newt;  // referenced to the diameter
-  std::printf("stagnation Cp : %6.3f (Newtonian limit %.1f)\n", cp_max,
-              cp_newt);
-  std::printf("drag Cd       : %6.3f (Newtonian estimate %.2f)\n", s.cd,
-              cd_newt);
-  std::printf("lift Cl       : %6.3f (symmetric body: ~0)\n", s.cl);
-  std::printf("wall heating  : %6.3f (integrated Ch-equivalent per span)\n",
-              s.heat_total);
   return 0;
 }

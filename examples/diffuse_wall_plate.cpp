@@ -1,63 +1,50 @@
 // Wall-model extension (paper "Future Work": "the boundary conditions
-// should include no slip adiabatic and isothermal walls"): the same wedge
-// flow with (a) the paper's inviscid specular surface, (b) a diffuse
-// isothermal (cold) wall, (c) a diffuse adiabatic wall.  Prints the
-// near-surface slip velocity and temperature, showing the boundary-layer
-// behaviour the specular model cannot produce.
+// should include no slip adiabatic and isothermal walls"): the
+// `flat-plate-diffuse` registry scenario run three times with (a) the
+// paper's inviscid specular surface, (b) a diffuse isothermal (cold) wall,
+// (c) a diffuse adiabatic wall — the `body.wall` override is the only
+// difference between the runs.  The surface-flux instrumentation shows the
+// boundary-layer behaviour the specular model cannot produce: diffuse
+// walls pick up shear (nonzero Cf-driven drag) and the isothermal wall
+// absorbs heat while the specular and adiabatic walls cannot.
 #include <cstdio>
 
-#include "core/simulation.h"
-#include "io/shock_analysis.h"
+#include "scenario/runner.h"
 
 namespace {
 
 using namespace cmdsmc;
 
-void run_wall(geom::WallModel wall, double wall_sigma, const char* name) {
-  core::SimConfig cfg;
-  cfg.nx = 98;
-  cfg.ny = 64;
-  cfg.mach = 4.0;
-  cfg.sigma = 0.12;
-  cfg.lambda_inf = 0.5;
-  cfg.particles_per_cell = 12.0;
-  cfg.wedge_x0 = 20.0;
-  cfg.wedge_base = 25.0;
-  cfg.wedge_angle_deg = 30.0;
-  cfg.wall = wall;
-  cfg.wall_sigma = wall_sigma;
-  core::SimulationD sim(cfg);
-  sim.run(500);
-  sim.set_sampling(true);
-  sim.run(500);
-  const auto f = sim.field();
-
-  // Tangential speed and temperature in the first cell above mid-wedge.
-  const int ix = 37;
-  const int iy = static_cast<int>(sim.wedge()->surface_y(ix + 0.5)) + 1;
-  const double ux = f.at(f.ux, ix, iy);
-  const double uy = f.at(f.uy, ix, iy);
-  const double speed = std::sqrt(ux * ux + uy * uy);
-  const double t_surf = f.at(f.t_total, ix, iy);
-  const auto fit = io::measure_oblique_shock(f, *sim.wedge());
-  std::printf("%-22s %14.3f %14.2f %12.2f %12.2f\n", name, speed, t_surf,
-              fit.angle_deg, fit.density_ratio);
+void run_wall(const char* wall, const char* twall, const char* name) {
+  scenario::ScenarioSpec spec = scenario::get_scenario("flat-plate-diffuse");
+  scenario::apply_override(spec, "body.wall", wall);
+  scenario::apply_override(spec, "body.twall", twall);
+  spec.sinks.clear();  // table output only
+  scenario::Runner runner(std::move(spec));
+  const scenario::RunResult r = runner.run();
+  std::printf("%-22s %10.3f %10.3f %12.4f %12.4f %12.4f\n", name,
+              r.surface->cd, r.surface->cl, r.surface->heat_total,
+              r.surface->q_incident_total, r.surface->q_reflected_total);
 }
 
 }  // namespace
 
 int main() {
-  std::printf("wall-model extension: rarefied Mach 4 wedge "
-              "(freestream speed = 0.57 cells/step, T_inf = 1)\n\n");
-  std::printf("%-22s %14s %14s %12s %12s\n", "wall model", "surface speed",
-              "surface T/Tinf", "shock angle", "rho ratio");
-  run_wall(cmdsmc::geom::WallModel::kSpecular, 0.12, "specular (paper)");
-  run_wall(cmdsmc::geom::WallModel::kDiffuseIsothermal, 0.12,
-           "diffuse isothermal");
-  run_wall(cmdsmc::geom::WallModel::kDiffuseAdiabatic, 0.12,
-           "diffuse adiabatic");
-  std::printf("\n(diffuse walls enforce no slip: the surface speed drops and "
-              "the isothermal wall cools the shock layer; the specular wall "
-              "preserves the full tangential velocity)\n");
+  std::printf("wall-model extension: rarefied Mach 4 flat plate at 10 deg "
+              "incidence\n\n");
+  std::printf("%-22s %10s %10s %12s %12s %12s\n", "wall model", "Cd", "Cl",
+              "heat", "q_in", "q_out");
+  try {
+    run_wall("specular", "1.0", "specular (paper)");
+    run_wall("diffuse_isothermal", "0.25", "diffuse isothermal");
+    run_wall("diffuse_adiabatic", "1.0", "diffuse adiabatic");
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "diffuse_wall_plate: %s\n", e.what());
+    return 1;
+  }
+  std::printf("\n(diffuse walls enforce no slip: tangential momentum is "
+              "accommodated and drag rises; only the isothermal wall "
+              "absorbs net heat — specular and adiabatic walls re-emit "
+              "every joule, q_in == q_out)\n");
   return 0;
 }

@@ -1,63 +1,47 @@
 // 3D extension (paper "Future Work": "The code should also be extended to
-// 3D"): hypersonic flow through a duct with a compression ramp extruded
-// along z.  Prints mid-plane density/temperature maps and checks that the
-// solution is z-uniform (the 3D machinery at work with a 2.5D-verifiable
-// answer).
+// 3D"): the `duct3d` registry scenario — hypersonic flow through a duct
+// with a compression ramp extruded along z.  The Runner prints the
+// mid-plane density map; this wrapper adds the z-uniformity check (the
+// ramp is extruded, so all planes must agree).
+//
+// Usage: duct3d [key=value ...]        e.g. duct3d ppc=12 steps=600
+#include <cmath>
 #include <cstdio>
 
-#include "core/simulation.h"
-#include "io/contour.h"
-#include "io/csv.h"
+#include "scenario/runner.h"
 
 int main(int argc, char** argv) {
   using namespace cmdsmc;
-  core::SimConfig cfg;
-  cfg.nx = 64;
-  cfg.ny = 32;
-  cfg.nz = 16;
-  cfg.mach = 4.0;
-  cfg.sigma = 0.12;
-  cfg.lambda_inf = 0.5;
-  cfg.particles_per_cell = argc > 1 ? std::atof(argv[1]) : 8.0;
-  cfg.reservoir_fraction = 0.2;
-  cfg.has_wedge = true;
-  cfg.wedge_x0 = 16.0;
-  cfg.wedge_base = 16.0;
-  cfg.wedge_angle_deg = 25.0;
+  try {
+    scenario::ScenarioSpec spec = scenario::get_scenario("duct3d");
+    scenario::apply_overrides(spec, cli::parse_key_values(argc, argv, 1));
 
-  std::printf("3D duct: %dx%dx%d cells, Mach %.1f over a %g-degree ramp, "
-              "lambda = %g\n",
-              cfg.nx, cfg.ny, cfg.nz, cfg.mach, cfg.wedge_angle_deg,
-              cfg.lambda_inf);
-  core::SimulationD sim(cfg);
-  std::printf("particles: %zu flow + %zu reservoir\n", sim.flow_count(),
-              sim.reservoir_count());
-  sim.run(400);
-  sim.set_sampling(true);
-  sim.run(400);
-  const auto f = sim.field();
+    std::printf("3D duct: %dx%dx%d cells, Mach %.1f over a %g-degree ramp, "
+                "lambda = %g\n",
+                spec.config.nx, spec.config.ny, spec.config.nz,
+                spec.config.mach, spec.config.wedge_angle_deg,
+                spec.config.lambda_inf);
+    const int nz = spec.config.nz;
+    scenario::Runner runner(std::move(spec));
+    runner.add_spec_sinks();
+    const scenario::RunResult r = runner.run();
 
-  io::ContourOptions opt;
-  opt.vmax = 4.0;
-  opt.z_plane = cfg.nz / 2;
-  std::printf("\nmid-plane density (z = %d):\n%s\n", cfg.nz / 2,
-              io::render_ascii(f, f.density, opt).c_str());
-  io::write_field_csv_file("duct3d_density_midplane.csv", f, f.density,
-                           "rho", cfg.nz / 2);
-
-  // z-uniformity check: the ramp is extruded, so all planes must agree.
-  double mid = 0.0, edge = 0.0;
-  int n = 0;
-  for (int ix = 18; ix < 30; ++ix)
-    for (int iy = 8; iy < 20; ++iy) {
-      mid += f.at(f.density, ix, iy, cfg.nz / 2);
-      edge += f.at(f.density, ix, iy, 1);
-      ++n;
-    }
-  std::printf("ramp-region density: mid-plane %.3f vs near-wall plane %.3f "
-              "(z-uniform to %.1f%%)\n",
-              mid / n, edge / n, 100.0 * std::abs(mid / edge - 1.0));
-  std::printf("collisions so far: %llu\n",
-              static_cast<unsigned long long>(sim.counters().collisions));
+    // z-uniformity check over the ramp region.
+    const auto& f = r.field;
+    double mid = 0.0, edge = 0.0;
+    int n = 0;
+    for (int ix = 18; ix < 30; ++ix)
+      for (int iy = 8; iy < 20; ++iy) {
+        mid += f.at(f.density, ix, iy, nz / 2);
+        edge += f.at(f.density, ix, iy, 1);
+        ++n;
+      }
+    std::printf("ramp-region density: mid-plane %.3f vs near-wall plane "
+                "%.3f (z-uniform to %.1f%%)\n",
+                mid / n, edge / n, 100.0 * std::abs(mid / edge - 1.0));
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "duct3d: %s\n", e.what());
+    return 1;
+  }
   return 0;
 }

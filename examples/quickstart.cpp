@@ -1,74 +1,38 @@
 // Quickstart: the paper's Mach 4 / 30-degree wedge wind tunnel at reduced
-// particle count, printing an ASCII density map and the shock metrics that
-// validate the solution (theoretical shock angle 45 deg, density rise 3.7x).
+// particle count — the `wedge-mach4` registry scenario driven through the
+// standard Runner, printing an ASCII density map and the shock metrics
+// that validate the solution (theoretical shock angle 45 deg, density rise
+// 3.7x).  The same run is `cmdsmc run wedge-mach4` with any key=value
+// override; this wrapper keeps the historical positional interface.
 //
 // Usage: quickstart [particles_per_cell] [steady_steps] [avg_steps]
+// (defaults come from the registry entry: 16 ppc, 600+600 steps)
 #include <cstdio>
-#include <cstdlib>
+#include <string>
 
-#include "core/simulation.h"
-#include "io/contour.h"
-#include "io/shock_analysis.h"
-#include "physics/theory.h"
+#include "scenario/runner.h"
 
 int main(int argc, char** argv) {
   using namespace cmdsmc;
+  try {
+    // The scenario's own 600+600 schedule is tuned to its sigma (slower
+    // freestream than the original standalone example); keep it.
+    scenario::ScenarioSpec spec = scenario::get_scenario("wedge-mach4");
+    if (argc > 1)
+      scenario::apply_override(spec, "particles_per_cell", argv[1]);
+    if (argc > 2) scenario::apply_override(spec, "steady", argv[2]);
+    if (argc > 3) scenario::apply_override(spec, "avg", argv[3]);
 
-  core::SimConfig cfg;
-  cfg.nx = 98;
-  cfg.ny = 64;
-  cfg.mach = 4.0;
-  cfg.sigma = 0.18;
-  cfg.lambda_inf = 0.0;  // near continuum
-  cfg.particles_per_cell = argc > 1 ? std::atof(argv[1]) : 16.0;
-  cfg.wedge_x0 = 20.0;
-  cfg.wedge_base = 25.0;
-  cfg.wedge_angle_deg = 30.0;
-  const int steady = argc > 2 ? std::atoi(argv[2]) : 400;
-  const int avg = argc > 3 ? std::atoi(argv[3]) : 400;
-
-  std::printf("cmdsmc quickstart: Mach %.1f flow over a %.0f-degree wedge\n",
-              cfg.mach, cfg.wedge_angle_deg);
-  core::SimulationD sim(cfg);
-  std::printf("particles: %zu flow + %zu reservoir\n", sim.flow_count(),
-              sim.reservoir_count());
-
-  sim.run(steady);
-  sim.set_sampling(true);
-  sim.run(avg);
-
-  const auto field = sim.field();
-  io::ContourOptions opt;
-  opt.vmax = 4.5;
-  std::printf("\ntime-averaged density / freestream (%d samples):\n%s\n",
-              field.samples, io::render_ascii(field, field.density, opt).c_str());
-
-  // Undisturbed freestream density (region upstream of the leading edge).
-  double rho_fs = 0.0;
-  int nfs = 0;
-  for (int ix = 5; ix < 16; ++ix)
-    for (int iy = 8; iy < cfg.ny - 8; ++iy) {
-      rho_fs += field.at(field.density, ix, iy);
-      ++nfs;
-    }
-  rho_fs /= nfs;
-  std::printf("freestream rho: measured %6.3f    | target    1.000\n",
-              rho_fs);
-
-  const auto fit = io::measure_oblique_shock(field, *sim.wedge());
-  namespace th = physics::theory;
-  const double beta =
-      th::oblique_shock_angle(cfg.wedge_angle_rad(), cfg.mach);
-  const double ratio = th::oblique_shock_density_ratio(beta, cfg.mach);
-  std::printf("shock angle   : measured %6.2f deg | theory %6.2f deg\n",
-              fit.angle_deg, beta * 180.0 / 3.14159265358979);
-  std::printf("density ratio : measured %6.2f     | theory %6.2f\n",
-              fit.density_ratio / rho_fs, ratio);
-  std::printf("shock width   : %.1f cells (10-90%%, along shock normal)\n",
-              fit.thickness_normal);
-  const auto wake = io::measure_wake(field, *sim.wedge());
-  std::printf("wake          : base density %.3f, recompression %s at x=%.0f\n",
-              wake.base_density, wake.shock_present ? "present" : "washed out",
-              wake.recovery_x);
+    std::printf("cmdsmc quickstart: Mach %.1f flow over a %.0f-degree "
+                "wedge\n",
+                spec.config.mach, spec.config.wedge_angle_deg);
+    scenario::Runner runner(std::move(spec));
+    runner.add_sink(std::make_unique<scenario::AsciiContourSink>());
+    runner.add_sink(std::make_unique<scenario::ConsoleReportSink>());
+    runner.run();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "quickstart: %s\n", e.what());
+    return 1;
+  }
   return 0;
 }

@@ -3,13 +3,15 @@
 // per component, no transcendentals) and relax to the correct Maxwellian by
 // colliding amongst themselves on otherwise-idle processors.
 //
-// This example builds a pure reservoir (a closed box of rectangular gas)
-// and prints the convergence of the distribution moments to Gaussian
-// values step by step.
+// The closed box of rectangular gas is the `reservoir-relax` registry
+// scenario (`cmdsmc run reservoir-relax` runs it end to end); this example
+// keeps the step-by-step view, printing the convergence of the
+// distribution moments to Gaussian values.
 #include <cstdio>
 
 #include "core/simulation.h"
 #include "rng/samplers.h"
+#include "scenario/scenario.h"
 
 namespace {
 
@@ -37,16 +39,8 @@ Moments measure(const cmdsmc::core::ParticleStore<double>& s, double sigma) {
 
 int main() {
   using namespace cmdsmc;
-  core::SimConfig cfg;
-  cfg.nx = 16;
-  cfg.ny = 16;
-  cfg.closed_box = true;
-  cfg.has_wedge = false;
-  cfg.mach = 0.01;
-  cfg.sigma = 0.2;
-  cfg.lambda_inf = 0.0;
-  cfg.particles_per_cell = 64.0;
-  cfg.reservoir_fraction = 0.0;
+  const core::SimConfig cfg =
+      scenario::get_scenario("reservoir-relax").build_config();
   core::SimulationD sim(cfg);
 
   // Replace the initial Maxwellian with the reservoir's rectangular

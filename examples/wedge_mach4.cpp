@@ -1,163 +1,48 @@
-// The paper's full experiment, configurable from the command line: Mach M
-// flow over a wedge, near-continuum or rarefied, with CSV field dumps for
-// external plotting (figures 1-6 are views of these fields).
+// The paper's full experiment as a thin wrapper over the `wedge-mach4`
+// registry scenario: Mach M flow over a wedge, near-continuum or rarefied,
+// with CSV/VTK field dumps for external plotting (figures 1-6 are views of
+// these fields).
 //
 // Usage:
-//   wedge_mach4 [--mach M] [--angle DEG] [--lambda L] [--ppc N]
-//               [--steady S] [--avg A] [--fixed] [--body] [--out PREFIX]
+//   wedge_mach4 [key=value ...]
 //
-// --body routes the run through the generalized geom::Body subsystem
-// (Body::Wedge) instead of the wedge-specific path, and additionally emits
-// per-segment surface coefficients to PREFIX_surface.csv; the field outputs
-// must match the legacy path within statistical noise.
+// Any scenario override is accepted (see `cmdsmc describe wedge-mach4`),
+// e.g.:
+//   wedge_mach4 mach=5 lambda=0.5 steady=1200 avg=2000
+//   wedge_mach4 body.kind=wedge            # generalized-body path +
+//                                          # per-segment surface CSV
+//   wedge_mach4 precision=fixed            # the paper's Q8.23 engine
 //
-// Defaults reproduce a reduced-scale version of the paper's set-up; the
-// paper-size run is --ppc 73 --steady 1200 --avg 2000.
+// The paper-size run is ppc=73 steady=1200 avg=2000.
 #include <cstdio>
-#include <cstdlib>
-#include <cstring>
-#include <string>
 
-#include "core/simulation.h"
-#include "io/contour.h"
-#include "io/csv.h"
-#include "io/shock_analysis.h"
-#include "io/surface_csv.h"
-#include "io/vtk.h"
-#include "physics/theory.h"
-
-namespace {
-
-double arg_double(int argc, char** argv, const char* name, double fallback) {
-  for (int i = 1; i + 1 < argc; ++i)
-    if (std::strcmp(argv[i], name) == 0) return std::atof(argv[i + 1]);
-  return fallback;
-}
-
-bool arg_flag(int argc, char** argv, const char* name) {
-  for (int i = 1; i < argc; ++i)
-    if (std::strcmp(argv[i], name) == 0) return true;
-  return false;
-}
-
-std::string arg_str(int argc, char** argv, const char* name,
-                    const char* fallback) {
-  for (int i = 1; i + 1 < argc; ++i)
-    if (std::strcmp(argv[i], name) == 0) return argv[i + 1];
-  return fallback;
-}
-
-template <class Real>
-int run(const cmdsmc::core::SimConfig& cfg, int steady, int avg,
-        const std::string& prefix) {
-  using namespace cmdsmc;
-  core::Simulation<Real> sim(cfg);
-  std::printf("particles: %zu flow + %zu reservoir, grid %dx%d (%s path)\n",
-              sim.flow_count(), sim.reservoir_count(), cfg.nx, cfg.ny,
-              cfg.body ? "generalized body" : "legacy wedge");
-  std::printf("running %d steady + %d averaging steps...\n", steady, avg);
-  sim.run(steady);
-  sim.set_sampling(true);
-  if (cfg.body) sim.set_surface_sampling(true);
-  sim.run(avg);
-  const auto f = sim.field();
-
-  io::write_field_csv_file(prefix + "_density.csv", f, f.density, "rho");
-  io::write_field_csv_file(prefix + "_t_total.csv", f, f.t_total, "T");
-  io::write_field_csv_file(prefix + "_ux.csv", f, f.ux, "ux");
-  io::write_field_csv_file(prefix + "_uy.csv", f, f.uy, "uy");
-  io::write_vtk(prefix + ".vtk", f);
-  std::printf("fields written to %s_{density,t_total,ux,uy}.csv and %s.vtk\n",
-              prefix.c_str(), prefix.c_str());
-  if (cfg.body) {
-    const auto s = sim.surface();
-    io::write_surface_csv_file(prefix + "_surface.csv", s);
-    std::printf("surface Cp/Cf/Ch written to %s_surface.csv "
-                "(Cd %.3f, Cl %.3f)\n",
-                prefix.c_str(), s.cd, s.cl);
-  }
-
-  io::ContourOptions opt;
-  opt.vmax = 4.5;
-  std::printf("\n%s\n", io::render_ascii(f, f.density, opt).c_str());
-
-  namespace th = physics::theory;
-  // Shock analysis only needs the wedge outline, which both paths share.
-  const geom::Wedge analysis_wedge(cfg.wedge_x0, cfg.wedge_base,
-                                   cfg.wedge_angle_rad());
-  const auto fit = io::measure_oblique_shock(f, analysis_wedge);
-  if (fit.valid) {
-    try {
-      const double beta =
-          th::oblique_shock_angle(cfg.wedge_angle_rad(), cfg.mach);
-      std::printf("shock angle   : %6.2f deg (theory %6.2f)\n", fit.angle_deg,
-                  beta * 57.2957795);
-      std::printf("density ratio : %6.2f     (theory %6.2f)\n",
-                  fit.density_ratio,
-                  th::oblique_shock_density_ratio(beta, cfg.mach));
-    } catch (const std::domain_error&) {
-      std::printf("shock angle   : %6.2f deg (theory: detached)\n",
-                  fit.angle_deg);
-    }
-    std::printf("shock width   : %4.1f cells (vertical 10-90%%)\n",
-                fit.thickness_vertical);
-  } else {
-    std::printf("no attached oblique shock detected\n");
-  }
-  const auto wake = io::measure_wake(f, analysis_wedge);
-  std::printf("wake base     : %.3f (%s)\n", wake.base_density,
-              wake.shock_present ? "recompression present" : "washed out");
-  std::printf("phase shares  : move %.0f%% sort %.0f%% select %.0f%% "
-              "collide %.0f%% sample %.0f%%\n",
-              100 * sim.phase_seconds(core::Simulation<Real>::kPhaseMove) /
-                  sim.total_seconds(),
-              100 * sim.phase_seconds(core::Simulation<Real>::kPhaseSort) /
-                  sim.total_seconds(),
-              100 * sim.phase_seconds(core::Simulation<Real>::kPhaseSelect) /
-                  sim.total_seconds(),
-              100 * sim.phase_seconds(core::Simulation<Real>::kPhaseCollide) /
-                  sim.total_seconds(),
-              100 * sim.phase_seconds(core::Simulation<Real>::kPhaseSample) /
-                  sim.total_seconds());
-  return 0;
-}
-
-}  // namespace
+#include "scenario/runner.h"
 
 int main(int argc, char** argv) {
   using namespace cmdsmc;
-  core::SimConfig cfg;
-  cfg.nx = 98;
-  cfg.ny = 64;
-  cfg.mach = arg_double(argc, argv, "--mach", 4.0);
-  cfg.sigma = arg_double(argc, argv, "--sigma", 0.09);
-  cfg.lambda_inf = arg_double(argc, argv, "--lambda", 0.0);
-  cfg.particles_per_cell = arg_double(argc, argv, "--ppc", 16.0);
-  cfg.wedge_x0 = 20.0;
-  cfg.wedge_base = 25.0;
-  cfg.wedge_angle_deg = arg_double(argc, argv, "--angle", 30.0);
-  const int steady =
-      static_cast<int>(arg_double(argc, argv, "--steady", 600));
-  const int avg = static_cast<int>(arg_double(argc, argv, "--avg", 600));
-  const std::string prefix = arg_str(argc, argv, "--out", "wedge");
-
-  std::printf("cmdsmc wedge wind tunnel: Mach %.2f, %g deg wedge, "
-              "lambda_inf = %g (%s)\n",
-              cfg.mach, cfg.wedge_angle_deg, cfg.lambda_inf,
-              cfg.lambda_inf <= 0 ? "near continuum" : "rarefied");
   try {
-    if (arg_flag(argc, argv, "--body"))
-      cfg.body = geom::Body::Wedge(cfg.wedge_x0, cfg.wedge_base,
-                                   cfg.wedge_angle_rad());
-    cfg.validate();
+    scenario::ScenarioSpec spec = scenario::get_scenario("wedge-mach4");
+    spec.output_prefix = "wedge";
+    spec.sinks = {"field_csv", "vtk", "surface_csv", "ascii", "report",
+                  "json"};
+    scenario::apply_overrides(spec, cli::parse_key_values(argc, argv, 1));
+
+    std::printf("cmdsmc wedge wind tunnel: Mach %.2f, %g deg wedge, "
+                "lambda_inf = %g (%s)\n",
+                spec.config.mach, spec.config.wedge_angle_deg,
+                spec.config.lambda_inf,
+                spec.config.lambda_inf <= 0 ? "near continuum" : "rarefied");
+    scenario::Runner runner(std::move(spec));
+    runner.add_spec_sinks();
+    const scenario::RunResult r = runner.run();
+    std::printf("fields written to %s_{density,t_total,ux,uy}.csv and "
+                "%s.vtk%s\n",
+                runner.spec().output_prefix.c_str(),
+                runner.spec().output_prefix.c_str(),
+                r.surface ? "; surface coefficients to *_surface.csv" : "");
   } catch (const std::exception& e) {
-    std::fprintf(stderr, "invalid configuration: %s\n", e.what());
+    std::fprintf(stderr, "wedge_mach4: %s\n", e.what());
     return 1;
   }
-  if (arg_flag(argc, argv, "--fixed")) {
-    std::printf("engine: 32-bit fixed point (Q8.23, stochastic rounding)\n");
-    return run<fixedpoint::Fixed32>(cfg, steady, avg, prefix);
-  }
-  std::printf("engine: double precision\n");
-  return run<double>(cfg, steady, avg, prefix);
+  return 0;
 }

@@ -1,0 +1,138 @@
+// cmdsmc — the single entry point to every registered scenario.
+//
+//   cmdsmc list                          all scenarios, one line each
+//   cmdsmc describe <scenario>           full spec + valid override keys
+//   cmdsmc describe --all                markdown table (docs/scenarios.md)
+//   cmdsmc run <scenario> [key=value ..] run with overrides
+//
+// Overrides address any SimConfig field, the body factory parameters
+// (body.*), the run schedule and the output sinks by name; a misspelled
+// key is an error listing the valid keys, never a silent no-op.
+#include <cstdio>
+#include <cstring>
+#include <exception>
+#include <string>
+#include <vector>
+
+#include "scenario/runner.h"
+#include "scenario/scenario.h"
+
+namespace {
+
+using namespace cmdsmc;
+
+int usage(std::FILE* to) {
+  std::fprintf(to,
+               "usage: cmdsmc <command> [...]\n"
+               "\n"
+               "  list                           list registered scenarios\n"
+               "  describe <scenario> | --all    show a scenario (or a\n"
+               "                                 markdown table of all)\n"
+               "  run <scenario> [key=value ..]  run with overrides\n"
+               "\n"
+               "examples:\n"
+               "  cmdsmc run wedge-mach4 steps=200\n"
+               "  cmdsmc run cylinder-mach10 mach=8 body.twall=0.5 "
+               "body.facets=48\n"
+               "  cmdsmc run wedge-mach4 precision=fixed lambda=0.5 "
+               "sinks=ascii,json\n");
+  return to == stderr ? 2 : 0;
+}
+
+int cmd_list() {
+  std::printf("%-22s %s\n", "scenario", "description");
+  for (const auto& s : scenario::all_scenarios())
+    std::printf("%-22s %s\n", s.name.c_str(), s.description.c_str());
+  return 0;
+}
+
+std::string grid_string(const core::SimConfig& cfg) {
+  std::string g = std::to_string(cfg.nx) + "x" + std::to_string(cfg.ny);
+  if (cfg.nz > 0) g += "x" + std::to_string(cfg.nz);
+  return g;
+}
+
+std::string body_string(const scenario::ScenarioSpec& s) {
+  if (s.body.kind != scenario::BodyKind::kNone)
+    return scenario::body_kind_name(s.body.kind);
+  if (s.config.has_wedge) return "wedge (legacy)";
+  return "none";
+}
+
+int cmd_describe_all() {
+  std::printf("| scenario | grid | Mach | lambda_inf | body | schedule | "
+              "description |\n");
+  std::printf("|---|---|---|---|---|---|---|\n");
+  for (const auto& s : scenario::all_scenarios()) {
+    std::printf("| `%s` | %s | %g | %g | %s | %d+%d | %s |\n", s.name.c_str(),
+                grid_string(s.config).c_str(), s.config.mach,
+                s.config.lambda_inf, body_string(s).c_str(),
+                s.schedule.steady_steps, s.schedule.avg_steps,
+                s.description.c_str());
+  }
+  return 0;
+}
+
+int cmd_describe(const std::string& name) {
+  const scenario::ScenarioSpec spec = scenario::get_scenario(name);
+  std::printf("%s\n  %s\n\n", spec.name.c_str(), spec.description.c_str());
+  std::printf("  grid        %s\n", grid_string(spec.config).c_str());
+  std::printf("  mach        %g\n", spec.config.mach);
+  std::printf("  sigma       %g\n", spec.config.sigma);
+  std::printf("  lambda_inf  %g\n", spec.config.lambda_inf);
+  std::printf("  ppc         %g\n", spec.config.particles_per_cell);
+  std::printf("  body        %s\n", body_string(spec).c_str());
+  std::printf("  schedule    %d steady + %d averaging steps\n",
+              spec.schedule.steady_steps, spec.schedule.avg_steps);
+  std::printf("  sinks      ");
+  for (const auto& sink : spec.sinks) std::printf(" %s", sink.c_str());
+  std::printf("\n\noverride keys (key=value):\n");
+  for (const std::string& key : scenario::override_keys())
+    std::printf("  %-30s %s\n", key.c_str(),
+                scenario::override_help(key).c_str());
+  return 0;
+}
+
+int cmd_run(int argc, char** argv) {
+  if (argc < 3) {
+    std::fprintf(stderr, "run: missing scenario name\n");
+    return usage(stderr);
+  }
+  scenario::ScenarioSpec spec = scenario::get_scenario(argv[2]);
+  scenario::apply_overrides(spec, cli::parse_key_values(argc, argv, 3));
+
+  scenario::Runner runner(std::move(spec));
+  runner.add_spec_sinks();
+  const scenario::RunResult result = runner.run();
+  if (result.counters.synthesized > 0)
+    std::fprintf(stderr,
+                 "warning: %llu synthesized injections (reservoir ran dry)\n",
+                 static_cast<unsigned long long>(
+                     result.counters.synthesized));
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage(stderr);
+  const std::string cmd = argv[1];
+  try {
+    if (cmd == "list") return cmd_list();
+    if (cmd == "describe") {
+      if (argc < 3) {
+        std::fprintf(stderr, "describe: missing scenario name (or --all)\n");
+        return usage(stderr);
+      }
+      if (std::strcmp(argv[2], "--all") == 0) return cmd_describe_all();
+      return cmd_describe(argv[2]);
+    }
+    if (cmd == "run") return cmd_run(argc, argv);
+    if (cmd == "help" || cmd == "--help" || cmd == "-h") return usage(stdout);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "cmdsmc: %s\n", e.what());
+    return 1;
+  }
+  std::fprintf(stderr, "unknown command '%s'\n", cmd.c_str());
+  return usage(stderr);
+}

@@ -93,6 +93,21 @@ struct SimConfig {
   double freestream_speed() const {
     return mach * std::sqrt(physics::theory::kGammaDiatomic) * sigma;
   }
+  // Diffuse-wall temperature expressed physically, as T_wall / T_inf.  The
+  // wall thermal standard deviation scales as sqrt(T), so this is the one
+  // place the sigma <-> temperature coupling lives: setting the ratio keeps
+  // the wall consistent with whatever `sigma` currently is, instead of
+  // leaving `wall_sigma` at its 0.18 default when sigma is overridden.
+  double wall_temperature_ratio() const {
+    const double r = wall_sigma / sigma;
+    return r * r;
+  }
+  void set_wall_temperature_ratio(double ratio) {
+    if (ratio < 0.0)
+      throw std::invalid_argument(
+          "SimConfig: wall_temperature_ratio must be >= 0");
+    wall_sigma = sigma * std::sqrt(ratio);
+  }
   double wedge_angle_rad() const {
     return wedge_angle_deg * std::numbers::pi / 180.0;
   }

@@ -29,6 +29,10 @@ void SurfaceSampler::record(unsigned lane, const geom::WallEventBuffer& ev) {
     m[1] += e.dpx;
     m[2] += e.dpy;
     m[3] += e.de;
+    m[4] += e.p_in;
+    m[5] += e.p_out;
+    m[6] += e.e_in;
+    m[7] += e.e_out;
   }
 }
 
@@ -73,6 +77,10 @@ SurfaceStats SurfaceSampler::finalize(const geom::Body& body, double rho_inf,
     s.p = -(m[1] * seg.nx + m[2] * seg.ny) / (steps * area);
     s.tau = (m[1] * seg.tx + m[2] * seg.ty) / (steps * area);
     s.q = m[3] / (steps * area);
+    s.p_incident = m[4] / (steps * area);
+    s.p_reflected = m[5] / (steps * area);
+    s.q_incident = m[6] / (steps * area);
+    s.q_reflected = m[7] / (steps * area);
     if (out.q_inf > 0.0) {
       s.cp = (s.p - out.p_inf) / out.q_inf;
       s.cf = s.tau / out.q_inf;
@@ -81,6 +89,8 @@ SurfaceStats SurfaceSampler::finalize(const geom::Body& body, double rho_inf,
     out.fx += m[1] / (steps * span_);
     out.fy += m[2] / (steps * span_);
     out.heat_total += m[3] / (steps * span_);
+    out.q_incident_total += m[6] / (steps * span_);
+    out.q_reflected_total += m[7] / (steps * span_);
   }
   const double chord = body.chord();
   if (out.q_inf > 0.0 && chord > 0.0) {

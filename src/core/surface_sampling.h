@@ -32,6 +32,14 @@ struct SurfaceSegmentStats {
   double p = 0.0;    // normal momentum flux into the wall (pressure)
   double tau = 0.0;  // tangential momentum flux along the segment tangent
   double q = 0.0;    // energy flux into the wall (heating > 0)
+  // Incident/reflected split of the normal momentum and energy fluxes
+  // (accommodation-coefficient studies): p = p_incident + p_reflected and
+  // q = q_incident - q_reflected by construction; a specular or adiabatic
+  // wall has q_incident == q_reflected.
+  double p_incident = 0.0;   // normal momentum delivered by arriving gas
+  double p_reflected = 0.0;  // normal momentum carried off by re-emitted gas
+  double q_incident = 0.0;   // energy delivered per area per step
+  double q_reflected = 0.0;  // energy re-emitted per area per step
   // Normalized coefficients (0 when the freestream is at rest).
   double cp = 0.0;   // (p - p_inf) / q_inf
   double cf = 0.0;   // tau / q_inf
@@ -48,6 +56,10 @@ struct SurfaceStats {
   double fx = 0.0, fy = 0.0;
   double cd = 0.0, cl = 0.0;
   double heat_total = 0.0;  // integrated energy flux per unit span per step
+  // Body-integrated incident/reflected energy fluxes per unit span per step
+  // (heat_total = q_incident_total - q_reflected_total).
+  double q_incident_total = 0.0;
+  double q_reflected_total = 0.0;
 };
 
 // Lane-parallel accumulator: each worker lane owns a private slice, so
@@ -76,7 +88,8 @@ class SurfaceSampler {
                         double sigma_inf, double u_inf) const;
 
  private:
-  static constexpr int kMoments = 4;  // count, dpx, dpy, de
+  // count, dpx, dpy, de, p_in, p_out, e_in, e_out
+  static constexpr int kMoments = 8;
   int nseg_ = 0;
   unsigned lanes_ = 0;
   double span_ = 1.0;

@@ -93,9 +93,15 @@ void body_reflect(ParticleState& p, const Body& body, const BodyHit& hit,
   const double pre_e = particle_energy(p);
   reflect_off_face(p, hit.nx, hit.ny, hit.depth, seg.wall, seg.wall_sigma,
                    rand_bits);
-  if (events != nullptr)
-    events->add(hit.segment, pre_ux - p.ux, pre_uy - p.uy,
-                pre_e - particle_energy(p));
+  if (events != nullptr) {
+    const double post_e = particle_energy(p);
+    // Incident normal momentum points into the wall (u.n < 0 on arrival),
+    // reflected points away; both recorded positive in their own sense.
+    const double vn_in = -(pre_ux * hit.nx + pre_uy * hit.ny);
+    const double vn_out = p.ux * hit.nx + p.uy * hit.ny;
+    events->add(hit.segment, pre_ux - p.ux, pre_uy - p.uy, pre_e - post_e,
+                vn_in, vn_out, pre_e, post_e);
+  }
 }
 
 }  // namespace

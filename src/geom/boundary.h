@@ -59,11 +59,19 @@ struct ParticleState {
 
 // One reflection off a body face, in wall-transfer convention: dp/de are the
 // momentum/energy the particle *gave to the wall* (incoming minus outgoing).
+// The incident/reflected split (normal momentum and total energy of the
+// arriving vs departing particle) is kept separately so accommodation
+// studies can compare what the stream delivers against what the surface
+// re-emits; dp/de remain the authoritative net transfer.
 struct WallEvent {
   int segment = -1;
   double dpx = 0.0;
   double dpy = 0.0;
   double de = 0.0;
+  double p_in = 0.0;   // incident normal momentum (> 0 toward the wall)
+  double p_out = 0.0;  // reflected normal momentum (> 0 away from the wall)
+  double e_in = 0.0;   // incident kinetic + internal energy
+  double e_out = 0.0;  // reflected energy (== e_in for specular/adiabatic)
 };
 
 // Fixed-capacity per-particle recorder (a particle can touch the body more
@@ -73,8 +81,11 @@ struct WallEventBuffer {
   int count = 0;
   WallEvent events[kCapacity];
 
-  void add(int segment, double dpx, double dpy, double de) {
-    if (count < kCapacity) events[count++] = WallEvent{segment, dpx, dpy, de};
+  void add(int segment, double dpx, double dpy, double de, double p_in = 0.0,
+           double p_out = 0.0, double e_in = 0.0, double e_out = 0.0) {
+    if (count < kCapacity)
+      events[count++] =
+          WallEvent{segment, dpx, dpy, de, p_in, p_out, e_in, e_out};
   }
 };
 

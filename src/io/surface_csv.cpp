@@ -9,15 +9,18 @@ void write_surface_csv(std::ostream& os, const core::SurfaceStats& s,
                        bool include_embedded) {
   os << "# samples=" << s.samples << " p_inf=" << s.p_inf
      << " q_inf=" << s.q_inf << " cd=" << s.cd << " cl=" << s.cl
-     << " heat=" << s.heat_total << "\n";
-  os << "segment,x,y,nx,ny,length,hits_per_step,p,tau,q,cp,cf,ch\n";
+     << " heat=" << s.heat_total << " q_in=" << s.q_incident_total
+     << " q_out=" << s.q_reflected_total << "\n";
+  os << "segment,x,y,nx,ny,length,hits_per_step,p,tau,q,cp,cf,ch,"
+        "p_in,p_out,q_in,q_out\n";
   for (std::size_t i = 0; i < s.segments.size(); ++i) {
     const core::SurfaceSegmentStats& seg = s.segments[i];
     if (seg.embedded && !include_embedded) continue;
     os << i << "," << seg.x << "," << seg.y << "," << seg.nx << "," << seg.ny
        << "," << seg.length << "," << seg.hits_per_step << "," << seg.p << ","
        << seg.tau << "," << seg.q << "," << seg.cp << "," << seg.cf << ","
-       << seg.ch << "\n";
+       << seg.ch << "," << seg.p_incident << "," << seg.p_reflected << ","
+       << seg.q_incident << "," << seg.q_reflected << "\n";
   }
 }
 

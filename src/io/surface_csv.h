@@ -10,7 +10,9 @@
 namespace cmdsmc::io {
 
 // Columns: segment, x, y, nx, ny, length, hits_per_step, p, tau, q, cp, cf,
-// ch.  Embedded segments (tunnel-wall edges) are skipped unless
+// ch, p_in, p_out, q_in, q_out (the last four are the incident/reflected
+// normal-momentum and energy flux split for accommodation studies).
+// Embedded segments (tunnel-wall edges) are skipped unless
 // `include_embedded` is set.  A `# cd=... cl=... heat=... samples=...`
 // comment line precedes the header.
 void write_surface_csv(std::ostream& os, const core::SurfaceStats& s,

@@ -1,0 +1,154 @@
+// The unified run driver: one warmup -> steady-detection -> averaging loop
+// for every scenario, replacing the per-binary copies in the old examples
+// and benches.  Results fan out to pluggable OutputSinks (field CSV,
+// surface CSV, VTK, ASCII contour, console report, JSON summary).
+#pragma once
+
+#include <array>
+#include <iosfwd>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cmdp/thread_pool.h"
+#include "core/sampling.h"
+#include "core/simulation.h"
+#include "core/surface_sampling.h"
+#include "scenario/scenario.h"
+
+namespace cmdsmc::scenario {
+
+// Everything one run produces, independent of the numeric engine.
+struct RunResult {
+  std::string scenario;
+  core::SimConfig config;    // the final, validated configuration
+  Precision precision = Precision::kDouble;
+
+  core::FieldStats field;
+  // Present when the run had a generalized body (surface sampling on).
+  std::optional<core::SurfaceStats> surface;
+
+  core::SimCounters counters;
+  std::size_t flow_count = 0;
+  std::size_t reservoir_count = 0;
+  std::size_t total_count = 0;
+
+  int steady_steps = 0;  // warmup steps actually run
+  int avg_steps = 0;
+  bool steady_detected = false;  // true when auto_steady converged early
+
+  // Wall-clock phase breakdown (Table A order: move, sort, select, collide,
+  // sample) and its sum.
+  std::array<double, 5> phase_seconds{};
+  double total_seconds = 0.0;
+
+  // Peak pressure coefficient over non-embedded segments (0 if no surface).
+  double cp_max() const;
+};
+
+// A result consumer.  Sinks must not mutate the result.
+class OutputSink {
+ public:
+  virtual ~OutputSink() = default;
+  virtual void write(const RunResult& result) = 0;
+};
+
+// <prefix>_{density,t_total,ux,uy}.csv field dumps.
+class FieldCsvSink : public OutputSink {
+ public:
+  explicit FieldCsvSink(std::string prefix) : prefix_(std::move(prefix)) {}
+  void write(const RunResult& r) override;
+
+ private:
+  std::string prefix_;
+};
+
+// <prefix>_surface.csv per-segment coefficients (no-op without a surface).
+class SurfaceCsvSink : public OutputSink {
+ public:
+  explicit SurfaceCsvSink(std::string prefix) : prefix_(std::move(prefix)) {}
+  void write(const RunResult& r) override;
+
+ private:
+  std::string prefix_;
+};
+
+// <prefix>.vtk legacy VTK structured-points dump.
+class VtkSink : public OutputSink {
+ public:
+  explicit VtkSink(std::string prefix) : prefix_(std::move(prefix)) {}
+  void write(const RunResult& r) override;
+
+ private:
+  std::string prefix_;
+};
+
+// ASCII density contour to a stream (default std::cout).
+class AsciiContourSink : public OutputSink {
+ public:
+  explicit AsciiContourSink(std::ostream* os = nullptr, double vmax = 4.5)
+      : os_(os), vmax_(vmax) {}
+  void write(const RunResult& r) override;
+
+ private:
+  std::ostream* os_;
+  double vmax_;
+};
+
+// Human-readable run report: particle counts, counters, shock metrics for
+// wedge scenarios, surface coefficients, phase shares.
+class ConsoleReportSink : public OutputSink {
+ public:
+  explicit ConsoleReportSink(std::ostream* os = nullptr) : os_(os) {}
+  void write(const RunResult& r) override;
+
+ private:
+  std::ostream* os_;
+};
+
+// <prefix>_summary.json machine-readable summary: configuration echoes,
+// particle counts, Cd/Cl/Cp_max, incident/reflected heat split, counters
+// and phase timings.
+class JsonSummarySink : public OutputSink {
+ public:
+  explicit JsonSummarySink(std::string path) : path_(std::move(path)) {}
+  void write(const RunResult& r) override;
+  // Serialization shared with tests.
+  static std::string to_json(const RunResult& r);
+
+ private:
+  std::string path_;
+};
+
+// Sink factory for the names accepted by the `sinks=` override: ascii,
+// report, json, field_csv, surface_csv, vtk.  Throws cli::ArgError on an
+// unknown name.
+std::unique_ptr<OutputSink> make_sink(const std::string& name,
+                                      const std::string& prefix);
+
+// Drives one scenario end to end: build_config -> Simulation<Real> ->
+// warmup (fixed or steady-detected) -> averaging with field/surface
+// sampling -> RunResult -> sinks.
+class Runner {
+ public:
+  explicit Runner(ScenarioSpec spec) : spec_(std::move(spec)) {}
+
+  const ScenarioSpec& spec() const { return spec_; }
+
+  void add_sink(std::unique_ptr<OutputSink> sink);
+  // Instantiates spec.sinks (with spec.output_prefix) via make_sink.
+  void add_spec_sinks();
+
+  // Runs with the spec's precision.  `pool` defaults to the global pool.
+  RunResult run(cmdp::ThreadPool* pool = nullptr);
+
+ private:
+  template <class Real>
+  RunResult run_impl(cmdp::ThreadPool* pool);
+
+  ScenarioSpec spec_;
+  std::vector<std::unique_ptr<OutputSink>> sinks_;
+};
+
+}  // namespace cmdsmc::scenario

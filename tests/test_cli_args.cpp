@@ -1,0 +1,76 @@
+// Regression tests for the strict key=value parser: the legacy per-binary
+// parsers silently ignored unknown flags and pushed integers through atof
+// truncation; cli::args must reject both.
+#include "cli/args.h"
+
+#include <gtest/gtest.h>
+
+namespace cli = cmdsmc::cli;
+
+TEST(CliArgs, SplitsKeyValueTokens) {
+  const auto kvs = cli::parse_key_values({"mach=4.5", "body.kind=cylinder",
+                                          "out=a=b"});
+  ASSERT_EQ(kvs.size(), 3u);
+  EXPECT_EQ(kvs[0].key, "mach");
+  EXPECT_EQ(kvs[0].value, "4.5");
+  EXPECT_EQ(kvs[1].key, "body.kind");
+  EXPECT_EQ(kvs[1].value, "cylinder");
+  // Only the first '=' splits; values may contain '='.
+  EXPECT_EQ(kvs[2].key, "out");
+  EXPECT_EQ(kvs[2].value, "a=b");
+}
+
+TEST(CliArgs, RejectsMalformedTokens) {
+  EXPECT_THROW(cli::parse_key_values({"mach"}), cli::ArgError);
+  EXPECT_THROW(cli::parse_key_values({"--mach", "4"}), cli::ArgError);
+  EXPECT_THROW(cli::parse_key_values({"=4"}), cli::ArgError);
+}
+
+TEST(CliArgs, ParsesIntegersStrictly) {
+  EXPECT_EQ(cli::parse_int("n", "42"), 42);
+  EXPECT_EQ(cli::parse_int("n", "-7"), -7);
+  // The atof-truncation footgun: a fractional value is an error, not 36.
+  EXPECT_THROW(cli::parse_int("facets", "36.9"), cli::ArgError);
+  EXPECT_THROW(cli::parse_int("n", "12x"), cli::ArgError);
+  EXPECT_THROW(cli::parse_int("n", ""), cli::ArgError);
+  EXPECT_THROW(cli::parse_int("n", "abc"), cli::ArgError);
+  EXPECT_THROW(cli::parse_int("n", "99999999999999999999"), cli::ArgError);
+}
+
+TEST(CliArgs, ParsesUnsignedWithHex) {
+  EXPECT_EQ(cli::parse_uint64("seed", "0x5eed"), 0x5eedULL);
+  EXPECT_EQ(cli::parse_uint64("seed", "12345"), 12345ULL);
+  EXPECT_THROW(cli::parse_uint64("seed", "-1"), cli::ArgError);
+  EXPECT_THROW(cli::parse_uint64("seed", "0xzz"), cli::ArgError);
+}
+
+TEST(CliArgs, ParsesDoublesStrictly) {
+  EXPECT_DOUBLE_EQ(cli::parse_double("m", "4.5"), 4.5);
+  EXPECT_DOUBLE_EQ(cli::parse_double("m", "-1e-3"), -1e-3);
+  EXPECT_THROW(cli::parse_double("m", "4.5x"), cli::ArgError);
+  EXPECT_THROW(cli::parse_double("m", ""), cli::ArgError);
+}
+
+TEST(CliArgs, ParsesBooleans) {
+  EXPECT_TRUE(cli::parse_bool("b", "1"));
+  EXPECT_TRUE(cli::parse_bool("b", "true"));
+  EXPECT_TRUE(cli::parse_bool("b", "ON"));
+  EXPECT_TRUE(cli::parse_bool("b", "yes"));
+  EXPECT_FALSE(cli::parse_bool("b", "0"));
+  EXPECT_FALSE(cli::parse_bool("b", "False"));
+  EXPECT_FALSE(cli::parse_bool("b", "off"));
+  EXPECT_THROW(cli::parse_bool("b", "2"), cli::ArgError);
+  EXPECT_THROW(cli::parse_bool("b", "maybe"), cli::ArgError);
+}
+
+TEST(CliArgs, UnknownKeyErrorListsValidKeys) {
+  try {
+    cli::throw_unknown_key("mcah", {"mach", "sigma"});
+    FAIL() << "expected ArgError";
+  } catch (const cli::ArgError& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("mcah"), std::string::npos);
+    EXPECT_NE(msg.find("mach"), std::string::npos);
+    EXPECT_NE(msg.find("sigma"), std::string::npos);
+  }
+}

@@ -86,6 +86,32 @@ TEST(SurfaceSampler, NormalizesSyntheticEventsIntoFluxes) {
   EXPECT_NEAR(z.segments[0].p, 0.0, 1e-12);
 }
 
+TEST(SurfaceSampler, SplitsIncidentAndReflectedFluxes) {
+  const geom::Body sq = geom::Body::FlatPlate(0.0, 0.0, 1.0, 1.0);
+  core::SurfaceSampler sampler(sq.segment_count(), 1, 1.0);
+  // Bottom face (area 1): one event carrying the full split.  A particle
+  // arrives with normal momentum 0.8 and energy 0.5, leaves with normal
+  // momentum 0.6 and energy 0.3 (the wall kept 0.2).
+  geom::WallEventBuffer ev;
+  ev.add(0, 0.0, 1.4, 0.2, /*p_in=*/0.8, /*p_out=*/0.6, /*e_in=*/0.5,
+         /*e_out=*/0.3);
+  sampler.record(0, ev);
+  sampler.end_step();
+  const core::SurfaceStats s = sampler.finalize(sq, 1.0, 0.2, 1.0);
+  const core::SurfaceSegmentStats& seg = s.segments[0];
+  EXPECT_NEAR(seg.p_incident, 0.8, 1e-12);
+  EXPECT_NEAR(seg.p_reflected, 0.6, 1e-12);
+  EXPECT_NEAR(seg.q_incident, 0.5, 1e-12);
+  EXPECT_NEAR(seg.q_reflected, 0.3, 1e-12);
+  EXPECT_NEAR(seg.q, seg.q_incident - seg.q_reflected, 1e-12);
+  EXPECT_NEAR(s.q_incident_total, 0.5, 1e-12);
+  EXPECT_NEAR(s.q_reflected_total, 0.3, 1e-12);
+  // The split reaches the CSV as the p_in/p_out/q_in/q_out columns.
+  std::ostringstream os;
+  io::write_surface_csv(os, s);
+  EXPECT_NE(os.str().find("p_in,p_out,q_in,q_out"), std::string::npos);
+}
+
 TEST(SurfaceSampler, ZeroFreestreamReportsRawFluxesOnly) {
   const geom::Body sq = geom::Body::FlatPlate(0.0, 0.0, 1.0, 1.0);
   core::SurfaceSampler sampler(sq.segment_count(), 1, 1.0);
@@ -193,6 +219,14 @@ TEST(SurfaceIntegration, WedgeRampPressureMatchesObliqueShockTheory) {
   // Specular walls exert no shear and absorb no heat.
   EXPECT_NEAR(ramp.cf, 0.0, 0.05);
   EXPECT_NEAR(ramp.ch, 0.0, 1e-9);
+  // Specular reflection preserves energy exactly, so the incident and
+  // reflected energy fluxes coincide while both stay positive.
+  EXPECT_GT(ramp.q_incident, 0.0);
+  EXPECT_NEAR(ramp.q_incident, ramp.q_reflected,
+              1e-9 * std::max(1.0, ramp.q_incident));
+  // Pressure decomposes into the incident + reflected momentum streams.
+  EXPECT_NEAR(ramp.p, ramp.p_incident + ramp.p_reflected,
+              1e-9 * std::max(1.0, ramp.p));
   // The wake-facing back face sees far less pressure than the ramp.
   EXPECT_LT(s.segments[1].p, 0.5 * ramp.p);
   // Ramp normal points up-left: drag positive, lift negative (downforce on
