@@ -29,6 +29,8 @@ std::vector<std::uint32_t> random_keys(std::size_t n, std::uint32_t bound) {
   return keys;
 }
 
+// Warm arena: after the first iteration the pool's Workspace owns every
+// scratch buffer, so the steady state is allocation-free.
 void BM_CountingSort(benchmark::State& state) {
   auto& pool = cmdp::ThreadPool::global();
   const auto n = static_cast<std::size_t>(state.range(0));
@@ -42,6 +44,75 @@ void BM_CountingSort(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(n));
 }
 BENCHMARK(BM_CountingSort)->Arg(1 << 16)->Arg(1 << 19);
+
+// Cold arena: releases the Workspace every iteration, measuring what the
+// pre-arena code paid in allocation + first-touch per step.  The gap to
+// BM_CountingSort is the arena's win — benchmarked, not asserted.
+void BM_CountingSortColdArena(benchmark::State& state) {
+  auto& pool = cmdp::ThreadPool::global();
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const std::uint32_t bound = 98 * 64 * 8;
+  const auto keys = random_keys(n, bound);
+  std::vector<std::uint32_t> order(n);
+  for (auto _ : state) {
+    pool.workspace().release();
+    cmdp::counting_sort_index(pool, keys, bound, order);
+    benchmark::DoNotOptimize(order.data());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_CountingSortColdArena)->Arg(1 << 19);
+
+// The plan/apply pair the simulation's fused sort uses: one counting pass,
+// then a single scatter pass moving an 8-array record set (a stand-in for
+// the particle store) straight to sorted positions.
+void BM_SortPlanScatter(benchmark::State& state) {
+  auto& pool = cmdp::ThreadPool::global();
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const std::uint32_t bound = 98 * 64 * 8;
+  const auto keys = random_keys(n, bound);
+  constexpr int kArrays = 8;
+  std::vector<double> src[kArrays], dst[kArrays];
+  for (int a = 0; a < kArrays; ++a) {
+    src[a].assign(n, 1.0);
+    dst[a].assign(n, 0.0);
+  }
+  for (auto _ : state) {
+    const cmdp::SortPlan plan = cmdp::counting_sort_plan(pool, keys, bound);
+    cmdp::apply_sort_plan(pool, keys, plan,
+                          [&](std::size_t s, std::size_t d) {
+                            for (int a = 0; a < kArrays; ++a)
+                              dst[a][d] = src[a][s];
+                          });
+    benchmark::DoNotOptimize(dst[0].data());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_SortPlanScatter)->Arg(1 << 19);
+
+// The historical shape of the same job: sort to a permutation, then gather
+// every array through it.  Kept as the baseline the fused scatter replaced.
+void BM_SortOrderThenGather(benchmark::State& state) {
+  auto& pool = cmdp::ThreadPool::global();
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const std::uint32_t bound = 98 * 64 * 8;
+  const auto keys = random_keys(n, bound);
+  std::vector<std::uint32_t> order(n);
+  constexpr int kArrays = 8;
+  std::vector<double> src[kArrays], dst[kArrays];
+  for (int a = 0; a < kArrays; ++a) {
+    src[a].assign(n, 1.0);
+    dst[a].assign(n, 0.0);
+  }
+  for (auto _ : state) {
+    cmdp::counting_sort_index(pool, keys, bound, order);
+    for (int a = 0; a < kArrays; ++a)
+      cmdp::gather<double>(pool, src[a], order, dst[a]);
+    benchmark::DoNotOptimize(dst[0].data());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_SortOrderThenGather)->Arg(1 << 19);
 
 void BM_RadixSort32(benchmark::State& state) {
   auto& pool = cmdp::ThreadPool::global();
@@ -99,6 +170,21 @@ void BM_Histogram(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(n));
 }
 BENCHMARK(BM_Histogram)->Arg(1 << 19);
+
+void BM_HistogramColdArena(benchmark::State& state) {
+  auto& pool = cmdp::ThreadPool::global();
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const std::uint32_t bound = 98 * 64;
+  const auto keys = random_keys(n, bound);
+  std::vector<std::uint32_t> counts(bound);
+  for (auto _ : state) {
+    pool.workspace().release();
+    cmdp::histogram(pool, keys, bound, counts);
+    benchmark::DoNotOptimize(counts.data());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_HistogramColdArena)->Arg(1 << 19);
 
 void BM_Gather(benchmark::State& state) {
   auto& pool = cmdp::ThreadPool::global();

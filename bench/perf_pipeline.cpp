@@ -1,0 +1,71 @@
+// Machine-readable per-step pipeline benchmark.
+//
+// Runs the paper's wedge wind tunnel (scaled by the usual CMDSMC_* env
+// knobs) through the fused step pipeline and writes BENCH_pipeline.json to
+// the working directory: usec/particle/step, per-phase seconds and shares,
+// thread and particle counts.  CI uploads the file as an artifact so the
+// perf trajectory is tracked across PRs instead of asserted in prose.
+#include <cstdio>
+
+#include "bench_common.h"
+#include "cmdp/thread_pool.h"
+
+int main() {
+  using namespace cmdsmc;
+  using S = core::SimulationD;
+  const auto scale = bench::scale_from_env();
+  auto& pool = cmdp::ThreadPool::global();
+
+  auto cfg = bench::paper_wedge_config(scale, 0.0);
+  S sim(cfg, &pool);
+  sim.run(40);  // warm-up: reach a representative particle distribution
+  sim.timers().reset();
+  const int steps = scale.steady_steps / 2 + 50;
+  sim.run(steps);
+
+  const double total = sim.total_seconds();
+  const double usec_per =
+      1e6 * total / (static_cast<double>(sim.flow_count()) * steps);
+  const S::Phase phases[4] = {S::kPhaseMove, S::kPhaseSort, S::kPhaseSelect,
+                              S::kPhaseCollide};
+  const char* keys[4] = {"move_bc", "sort", "select", "collide"};
+
+  std::printf("perf_pipeline: %u threads, %zu particles, %d steps\n",
+              pool.size(), sim.total_count(), steps);
+  bench::print_kv("usec/particle/step", usec_per);
+  for (int k = 0; k < 4; ++k)
+    bench::print_kv(std::string(keys[k]) + " share [%]",
+                    total > 0.0 ? 100.0 * sim.phase_seconds(phases[k]) / total
+                                : 0.0);
+
+  std::FILE* f = std::fopen("BENCH_pipeline.json", "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write BENCH_pipeline.json\n");
+    return 1;
+  }
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"bench\": \"perf_pipeline\",\n");
+  std::fprintf(f, "  \"scenario\": \"wedge-mach4 (paper wind tunnel)\",\n");
+  std::fprintf(f, "  \"threads\": %u,\n", pool.size());
+  std::fprintf(f, "  \"particles\": %zu,\n", sim.total_count());
+  std::fprintf(f, "  \"flow_particles\": %zu,\n", sim.flow_count());
+  std::fprintf(f, "  \"particles_per_cell\": %g,\n", cfg.particles_per_cell);
+  std::fprintf(f, "  \"steps\": %d,\n", steps);
+  std::fprintf(f, "  \"total_seconds\": %.6f,\n", total);
+  std::fprintf(f, "  \"usec_per_particle_step\": %.6f,\n", usec_per);
+  std::fprintf(f, "  \"phases\": {");
+  for (int k = 0; k < 4; ++k) {
+    const double sec = sim.phase_seconds(phases[k]);
+    std::fprintf(f, "%s\"%s\": {\"seconds\": %.6f, \"share\": %.4f}",
+                 k == 0 ? "" : ", ", keys[k],
+                 sec, total > 0.0 ? sec / total : 0.0);
+  }
+  std::fprintf(f, "},\n");
+  std::fprintf(f, "  \"notes\": \"select is fused into collide; sort keys "
+                  "and cell tables are produced by the move and sort phases "
+                  "respectively\"\n");
+  std::fprintf(f, "}\n");
+  std::fclose(f);
+  std::printf("wrote BENCH_pipeline.json\n");
+  return 0;
+}

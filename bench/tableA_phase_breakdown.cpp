@@ -34,6 +34,10 @@ int main() {
   const char* names[4] = {"motion + boundary conditions", "sort",
                           "selection of collision partners",
                           "collision of selected partners"};
+  const char* notes[4] = {"also generates the sort keys",
+                          "one-pass counting sort + record scatter",
+                          "fused into the collide pass (reads 0)",
+                          "includes partner selection"};
 
   std::printf("Table A: phase breakdown (%u threads, %zu particles, %d "
               "steps)\n",
@@ -41,7 +45,7 @@ int main() {
   bench::print_header("phase shares [%]");
   for (int k = 0; k < 4; ++k)
     bench::print_row(names[k], paper_pct[k],
-                     100.0 * sim.phase_seconds(phases[k]) / total, "");
+                     100.0 * sim.phase_seconds(phases[k]) / total, notes[k]);
   bench::print_header("per-particle cost [usec/particle/step]");
   bench::print_row("this machine (parallel)", 7.2, usec_per,
                    "paper value is CM-2 @ 32k procs");

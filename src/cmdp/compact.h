@@ -9,6 +9,7 @@
 #include "cmdp/parallel.h"
 #include "cmdp/scan.h"
 #include "cmdp/thread_pool.h"
+#include "cmdp/workspace.h"
 
 namespace cmdsmc::cmdp {
 
@@ -18,8 +19,9 @@ inline std::size_t compact_indices(ThreadPool& pool,
                                    std::span<const std::uint8_t> keep,
                                    std::vector<std::uint32_t>& out) {
   const std::size_t n = keep.size();
-  std::vector<std::uint32_t> offsets(n);
-  std::vector<std::uint32_t> ones(n);
+  Workspace& ws = pool.workspace();
+  std::span<std::uint32_t> offsets(grown(ws.compact_offsets, n), n);
+  std::span<std::uint32_t> ones(grown(ws.compact_ones, n), n);
   parallel_for(pool, n, [&](std::size_t i) { ones[i] = keep[i] ? 1u : 0u; });
   const std::uint32_t total = exclusive_scan<std::uint32_t>(
       pool, ones, offsets,

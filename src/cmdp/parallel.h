@@ -2,6 +2,8 @@
 // primitives of the paper, executed as statically partitioned loops.
 #pragma once
 
+#include <algorithm>
+#include <array>
 #include <cstddef>
 #include <utility>
 #include <vector>
@@ -26,8 +28,50 @@ inline Range lane_range(std::size_t n, unsigned tid, unsigned nlanes) {
   return {begin, begin + len};
 }
 
+// Inverse of lane_range: the lane whose range contains index i.  Callers
+// that accumulate per-lane state outside a parallel region (e.g. fixing up
+// fused histograms) must agree with the partition above, so the two live
+// side by side.  Requires i < n; nlanes > n implies base == 0, which only
+// happens below kSerialCutoff where callers use a single lane.
+inline unsigned lane_of_index(std::size_t i, std::size_t n, unsigned nlanes) {
+  if (nlanes <= 1) return 0;
+  const std::size_t base = n / nlanes;
+  const std::size_t rem = n % nlanes;
+  const std::size_t cut = (base + 1) * rem;
+  return i < cut ? static_cast<unsigned>(i / (base + 1))
+                 : static_cast<unsigned>(rem + (i - cut) / base);
+}
+
 // Below this many elements the fork-join overhead dominates; run serially.
 inline constexpr std::size_t kSerialCutoff = 4096;
+
+// Per-lane partial values of reductions and scans.  Up to kInlineLanes the
+// partials live on the stack, so the per-call heap allocation the primitives
+// used to make disappears on any sane machine.
+inline constexpr unsigned kInlineLanes = 64;
+
+template <class T>
+class LanePartials {
+ public:
+  LanePartials(unsigned lanes, const T& init) {
+    if (lanes <= kInlineLanes) {
+      p_ = stack_.data();
+      std::fill(p_, p_ + lanes, init);
+    } else {
+      heap_.assign(lanes, init);
+      p_ = heap_.data();
+    }
+  }
+  // p_ may point into stack_, so copying/moving would dangle.
+  LanePartials(const LanePartials&) = delete;
+  LanePartials& operator=(const LanePartials&) = delete;
+  T& operator[](std::size_t i) { return p_[i]; }
+
+ private:
+  std::array<T, kInlineLanes> stack_;
+  std::vector<T> heap_;
+  T* p_ = nullptr;
+};
 
 // f(i) for each i in [0, n).
 template <class F>
@@ -63,7 +107,8 @@ T parallel_reduce(ThreadPool& pool, std::size_t n, T identity, F&& f,
     for (std::size_t i = 0; i < n; ++i) acc = combine(acc, f(i));
     return acc;
   }
-  std::vector<T> partial(pool.size(), identity);
+  const unsigned lanes = pool.size();
+  LanePartials<T> partial(lanes, identity);
   pool.parallel([&](unsigned tid) {
     const Range r = lane_range(n, tid, pool.size());
     T acc = identity;
@@ -71,7 +116,7 @@ T parallel_reduce(ThreadPool& pool, std::size_t n, T identity, F&& f,
     partial[tid] = acc;
   });
   T acc = identity;
-  for (const T& p : partial) acc = combine(acc, p);
+  for (unsigned t = 0; t < lanes; ++t) acc = combine(acc, partial[t]);
   return acc;
 }
 

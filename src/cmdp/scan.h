@@ -29,7 +29,7 @@ void inclusive_scan(ThreadPool& pool, std::span<const T> in, std::span<T> out,
     return;
   }
   const unsigned lanes = pool.size();
-  std::vector<T> partial(lanes, identity);
+  LanePartials<T> partial(lanes, identity);
   pool.parallel([&](unsigned tid) {
     const Range r = lane_range(n, tid, lanes);
     T acc = identity;
@@ -39,7 +39,7 @@ void inclusive_scan(ThreadPool& pool, std::span<const T> in, std::span<T> out,
     }
     partial[tid] = acc;
   });
-  std::vector<T> offset(lanes, identity);
+  LanePartials<T> offset(lanes, identity);
   T acc = identity;
   for (unsigned t = 0; t < lanes; ++t) {
     offset[t] = acc;
@@ -70,7 +70,7 @@ T exclusive_scan(ThreadPool& pool, std::span<const T> in, std::span<T> out,
     return acc;
   }
   const unsigned lanes = pool.size();
-  std::vector<T> partial(lanes, identity);
+  LanePartials<T> partial(lanes, identity);
   pool.parallel([&](unsigned tid) {
     const Range r = lane_range(n, tid, lanes);
     T acc = identity;
@@ -81,7 +81,7 @@ T exclusive_scan(ThreadPool& pool, std::span<const T> in, std::span<T> out,
     }
     partial[tid] = acc;
   });
-  std::vector<T> offset(lanes, identity);
+  LanePartials<T> offset(lanes, identity);
   T acc = identity;
   for (unsigned t = 0; t < lanes; ++t) {
     offset[t] = acc;
@@ -120,8 +120,8 @@ void segmented_inclusive_scan(ThreadPool& pool, std::span<const T> in,
   const unsigned lanes = pool.size();
   // Pass 1: scan each lane independently; record whether any segment start
   // occurred in the lane and the lane's trailing accumulated value.
-  std::vector<T> tail(lanes, identity);
-  std::vector<std::uint8_t> sealed(lanes, 0);  // lane contains a segment start
+  LanePartials<T> tail(lanes, identity);
+  LanePartials<std::uint8_t> sealed(lanes, 0);  // lane has a segment start
   pool.parallel([&](unsigned tid) {
     const Range r = lane_range(n, tid, lanes);
     T acc = identity;
@@ -140,7 +140,7 @@ void segmented_inclusive_scan(ThreadPool& pool, std::span<const T> in,
   });
   // Carry across lanes: a lane's incoming carry is the previous lanes' scan,
   // reset by the most recent sealed lane.
-  std::vector<T> carry(lanes, identity);
+  LanePartials<T> carry(lanes, identity);
   T acc = identity;
   for (unsigned t = 0; t < lanes; ++t) {
     carry[t] = acc;

@@ -4,6 +4,7 @@
 #include <cassert>
 
 #include "cmdp/scan.h"
+#include "cmdp/workspace.h"
 
 namespace cmdsmc::cmdp {
 
@@ -17,10 +18,11 @@ void histogram(ThreadPool& pool, std::span<const std::uint32_t> keys,
     return;
   }
   const unsigned lanes = pool.size();
-  std::vector<std::uint32_t> local(static_cast<std::size_t>(lanes) * key_bound,
-                                   0u);
+  std::uint32_t* local = grown(pool.workspace().hist_lanes,
+                               static_cast<std::size_t>(lanes) * key_bound);
   pool.parallel([&](unsigned tid) {
-    std::uint32_t* h = local.data() + static_cast<std::size_t>(tid) * key_bound;
+    std::uint32_t* h = local + static_cast<std::size_t>(tid) * key_bound;
+    std::fill(h, h + key_bound, 0u);
     const Range r = lane_range(n, tid, lanes);
     for (std::size_t i = r.begin; i < r.end; ++i) ++h[keys[i]];
   });
@@ -32,80 +34,144 @@ void histogram(ThreadPool& pool, std::span<const std::uint32_t> keys,
   });
 }
 
-void counting_sort_index(ThreadPool& pool, std::span<const std::uint32_t> keys,
-                         std::uint32_t key_bound,
-                         std::span<std::uint32_t> order) {
-  const std::size_t n = keys.size();
-  assert(order.size() == n);
-  if (pool.size() == 1 || n < kSerialCutoff) {
-    std::vector<std::uint32_t> offsets(key_bound + 1, 0u);
-    for (std::size_t i = 0; i < n; ++i) ++offsets[keys[i] + 1];
-    for (std::uint32_t k = 0; k < key_bound; ++k) offsets[k + 1] += offsets[k];
-    for (std::size_t i = 0; i < n; ++i)
-      order[offsets[keys[i]]++] = static_cast<std::uint32_t>(i);
-    return;
-  }
-  const unsigned lanes = pool.size();
-  // Per-lane histograms.
-  std::vector<std::uint32_t> local(static_cast<std::size_t>(lanes) * key_bound,
-                                   0u);
-  pool.parallel([&](unsigned tid) {
-    std::uint32_t* h = local.data() + static_cast<std::size_t>(tid) * key_bound;
-    const Range r = lane_range(n, tid, lanes);
-    for (std::size_t i = r.begin; i < r.end; ++i) ++h[keys[i]];
-  });
-  // Column-wise conversion to starting offsets: offset(tid, k) =
-  // sum_{k'<k} total(k') + sum_{t<tid} local(t, k).  Computed in two steps:
-  // per-key totals + prefix within the key column, then an exclusive scan of
-  // totals folded back in.
-  std::vector<std::uint32_t> totals(key_bound);
+namespace {
+
+// Shared tail of the plan builders once per-lane counts exist in `counts`
+// (lanes x key_bound, lane-major).  Converts the counts in place (or into
+// the workspace cursor table) to absolute scatter destinations and fills
+// starts[0..key_bound] with the per-key exclusive starts.
+void finish_plan_tables(ThreadPool& pool, std::uint32_t* starts,
+                        std::uint32_t* cursors,
+                        const std::uint32_t* counts, unsigned lanes,
+                        std::uint32_t key_bound) {
+  // Column-wise: cursor(t, k) = prefix of counts within key k across lanes;
+  // per-key totals into starts[k + 1].
+  starts[0] = 0;
   parallel_for(pool, key_bound, [&](std::size_t k) {
     std::uint32_t running = 0;
     for (unsigned t = 0; t < lanes; ++t) {
-      std::uint32_t& cell = local[static_cast<std::size_t>(t) * key_bound + k];
-      const std::uint32_t c = cell;
-      cell = running;
+      const std::size_t at = static_cast<std::size_t>(t) * key_bound + k;
+      const std::uint32_t c = counts[at];
+      cursors[at] = running;
       running += c;
     }
-    totals[k] = running;
+    starts[k + 1] = running;
   });
-  std::vector<std::uint32_t> base(key_bound);
-  exclusive_scan<std::uint32_t>(
-      pool, std::span<const std::uint32_t>(totals),
-      std::span<std::uint32_t>(base),
+  // starts[k + 1] = total(k)  ->  inclusive scan turns it into the exclusive
+  // per-key starts (starts[0] stays 0).  In-place aliasing is supported.
+  inclusive_scan<std::uint32_t>(
+      pool, std::span<const std::uint32_t>(starts + 1, key_bound),
+      std::span<std::uint32_t>(starts + 1, key_bound),
       [](std::uint32_t a, std::uint32_t b) { return a + b; }, 0u);
-  // Scatter: stable because lanes cover ascending index ranges and each lane
-  // writes ascending offsets within a key.
+  // Make the cursors absolute destinations: cursor(t, k) += starts[k].
+  parallel_for(pool, key_bound, [&](std::size_t k) {
+    const std::uint32_t base = starts[k];
+    for (unsigned t = 0; t < lanes; ++t)
+      cursors[static_cast<std::size_t>(t) * key_bound + k] += base;
+  });
+}
+
+// Lays out a plan over workspace storage.  Single-lane plans alias the
+// cursors onto the starts table (the starts ARE the initial cursors), which
+// both skips a copy and is why key_starts must be read before apply.
+SortPlan lay_out_plan(Workspace& ws, std::size_t n, std::uint32_t key_bound,
+                      unsigned lanes) {
+  SortPlan plan;
+  plan.n = n;
+  plan.key_bound = key_bound;
+  plan.lanes = lanes;
+  std::uint32_t* starts = grown(ws.sort_starts, key_bound + std::size_t{1});
+  plan.key_starts = {starts, key_bound + std::size_t{1}};
+  std::uint32_t* cursors =
+      lanes == 1
+          ? starts
+          : grown(ws.sort_cursors, static_cast<std::size_t>(lanes) * key_bound);
+  plan.cursors = {cursors, static_cast<std::size_t>(lanes) * key_bound};
+  return plan;
+}
+
+}  // namespace
+
+SortPlan counting_sort_plan(ThreadPool& pool,
+                            std::span<const std::uint32_t> keys,
+                            std::uint32_t key_bound) {
+  assert(key_bound >= 1 && key_bound <= kDirectSortBound);
+  const std::size_t n = keys.size();
+  const unsigned lanes = sort_plan_lanes(pool, n);
+  SortPlan plan = lay_out_plan(pool.workspace(), n, key_bound, lanes);
+  std::uint32_t* starts = const_cast<std::uint32_t*>(plan.key_starts.data());
+  std::uint32_t* cursors = plan.cursors.data();
+
+  if (lanes == 1) {
+    // starts doubles as the cursor table: build the exclusive starts shifted
+    // by one, then key_starts[k] and cursors[k] coincide.
+    std::fill(starts, starts + key_bound + 1, 0u);
+    for (std::size_t i = 0; i < n; ++i) ++starts[keys[i] + 1];
+    for (std::uint32_t k = 0; k < key_bound; ++k) starts[k + 1] += starts[k];
+    return plan;
+  }
+
+  // Per-lane key counts, in place in the cursor table.
   pool.parallel([&](unsigned tid) {
-    std::uint32_t* h = local.data() + static_cast<std::size_t>(tid) * key_bound;
+    std::uint32_t* h = cursors + static_cast<std::size_t>(tid) * key_bound;
+    std::fill(h, h + key_bound, 0u);
     const Range r = lane_range(n, tid, lanes);
-    for (std::size_t i = r.begin; i < r.end; ++i) {
-      const std::uint32_t k = keys[i];
-      order[base[k] + h[k]++] = static_cast<std::uint32_t>(i);
-    }
+    for (std::size_t i = r.begin; i < r.end; ++i) ++h[keys[i]];
+  });
+  finish_plan_tables(pool, starts, cursors, cursors, lanes, key_bound);
+  return plan;
+}
+
+SortPlan counting_sort_plan_from_counts(
+    ThreadPool& pool, std::span<const std::uint32_t> lane_counts,
+    unsigned lanes, std::size_t n, std::uint32_t key_bound) {
+  assert(key_bound >= 1 && key_bound <= kDirectSortBound);
+  assert(lane_counts.size() >= static_cast<std::size_t>(lanes) * key_bound);
+  assert(lanes == sort_plan_lanes(pool, n));
+  SortPlan plan = lay_out_plan(pool.workspace(), n, key_bound, lanes);
+  std::uint32_t* starts = const_cast<std::uint32_t*>(plan.key_starts.data());
+  if (lanes == 1) {
+    starts[0] = 0;
+    for (std::uint32_t k = 0; k < key_bound; ++k)
+      starts[k + 1] = starts[k] + lane_counts[k];
+    return plan;
+  }
+  finish_plan_tables(pool, starts, plan.cursors.data(), lane_counts.data(),
+                     lanes, key_bound);
+  return plan;
+}
+
+void counting_sort_index(ThreadPool& pool, std::span<const std::uint32_t> keys,
+                         std::uint32_t key_bound,
+                         std::span<std::uint32_t> order) {
+  assert(order.size() == keys.size());
+  const SortPlan plan = counting_sort_plan(pool, keys, key_bound);
+  apply_sort_plan(pool, keys, plan, [&](std::size_t src, std::size_t dst) {
+    order[dst] = static_cast<std::uint32_t>(src);
   });
 }
 
 void stable_sort_index(ThreadPool& pool, std::span<const std::uint32_t> keys,
                        std::uint32_t key_bound,
                        std::span<std::uint32_t> order) {
-  constexpr std::uint32_t kDirectBound = 1u << 21;
   const std::size_t n = keys.size();
-  if (key_bound <= kDirectBound) {
+  if (key_bound <= kDirectSortBound) {
     counting_sort_index(pool, keys, key_bound, order);
     return;
   }
-  // Two-pass LSD radix over 16-bit digits.
-  std::vector<std::uint32_t> low(n), order1(n), high_sorted(n), order2(n);
+  // Two-pass LSD radix over 16-bit digits (workspace-backed scratch).
+  Workspace& ws = pool.workspace();
+  std::span<std::uint32_t> low(grown(ws.radix_low, n), n);
+  std::span<std::uint32_t> order1(grown(ws.radix_order1, n), n);
+  std::span<std::uint32_t> high_sorted(grown(ws.radix_high, n), n);
+  std::span<std::uint32_t> order2(grown(ws.radix_order2, n), n);
   parallel_for(pool, n, [&](std::size_t i) { low[i] = keys[i] & 0xffffu; });
-  counting_sort_index(pool, std::span<const std::uint32_t>(low), 1u << 16,
-                      std::span<std::uint32_t>(order1));
+  counting_sort_index(pool, low, 1u << 16, order1);
   parallel_for(pool, n,
                [&](std::size_t i) { high_sorted[i] = keys[order1[i]] >> 16; });
   const std::uint32_t high_bound =
       std::min<std::uint64_t>(1u << 16, ((std::uint64_t)key_bound >> 16) + 1);
-  counting_sort_index(pool, std::span<const std::uint32_t>(high_sorted),
-                      high_bound, std::span<std::uint32_t>(order2));
+  counting_sort_index(pool, high_sorted, high_bound, order2);
   parallel_for(pool, n, [&](std::size_t i) { order[i] = order1[order2[i]]; });
 }
 

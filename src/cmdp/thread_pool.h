@@ -13,6 +13,8 @@
 #include <thread>
 #include <vector>
 
+#include "cmdp/workspace.h"
+
 namespace cmdsmc::cmdp {
 
 // Persistent fork-join pool.  The calling thread participates as lane 0, so a
@@ -33,6 +35,11 @@ class ThreadPool {
   // Runs fn(tid) for tid in [0, size()); blocks until every lane returns.
   void parallel(const std::function<void(unsigned)>& fn);
 
+  // Scratch buffers shared by the cmdp primitives running on this pool.
+  // Safe because the pool is not reentrant: two primitives never execute
+  // concurrently on the same pool.
+  Workspace& workspace() { return workspace_; }
+
   // Process-wide pool.  Size taken from env CMDSMC_THREADS if set, else
   // hardware concurrency.  Created on first use.
   static ThreadPool& global();
@@ -42,6 +49,7 @@ class ThreadPool {
 
   unsigned nthreads_;
   std::vector<std::thread> workers_;
+  Workspace workspace_;
 
   std::mutex m_;
   std::condition_variable cv_start_;

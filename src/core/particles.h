@@ -100,6 +100,69 @@ struct ParticleStore {
     id.push_back(static_cast<std::uint32_t>(id.size()));
   }
 
+  // One-pass fused sort -> reorder: moves every record straight to its
+  // stable sorted position (scratch[dst] <- this[src]) using a prepared
+  // counting-sort plan, then swaps the buffers in.  One sequential read pass
+  // over all arrays instead of a permutation array plus one gather pass per
+  // array; the result is identical to reorder() with the plan's order.
+  void scatter_sorted(cmdp::ThreadPool& pool,
+                      std::span<const std::uint32_t> keys,
+                      const cmdp::SortPlan& plan, ParticleStore& scratch) {
+    scratch.has_z = has_z;
+    scratch.has_vib = has_vib;
+    scratch.resize(size());
+    // Raw pointers on both sides: the per-element flags (uint8) store would
+    // otherwise force the compiler to re-load every source vector pointer.
+    const Real* const px = x.data();
+    const Real* const py = y.data();
+    const Real* const pz = has_z ? z.data() : nullptr;
+    const Real* const pux = ux.data();
+    const Real* const puy = uy.data();
+    const Real* const puz = uz.data();
+    const Real* const pr0 = r0.data();
+    const Real* const pr1 = r1.data();
+    const Real* const pv0 = has_vib ? v0.data() : nullptr;
+    const Real* const pv1 = has_vib ? v1.data() : nullptr;
+    const rng::PackedPerm* const pperm = perm.data();
+    const std::uint32_t* const pcell = cell.data();
+    const std::uint8_t* const pflags = flags.data();
+    const std::uint32_t* const pid = id.data();
+    Real* const sx = scratch.x.data();
+    Real* const sy = scratch.y.data();
+    Real* const sz = has_z ? scratch.z.data() : nullptr;
+    Real* const sux = scratch.ux.data();
+    Real* const suy = scratch.uy.data();
+    Real* const suz = scratch.uz.data();
+    Real* const sr0 = scratch.r0.data();
+    Real* const sr1 = scratch.r1.data();
+    Real* const sv0 = has_vib ? scratch.v0.data() : nullptr;
+    Real* const sv1 = has_vib ? scratch.v1.data() : nullptr;
+    rng::PackedPerm* const sperm = scratch.perm.data();
+    std::uint32_t* const scell = scratch.cell.data();
+    std::uint8_t* const sflags = scratch.flags.data();
+    std::uint32_t* const sid = scratch.id.data();
+    cmdp::apply_sort_plan(
+        pool, keys, plan, [&](std::size_t src, std::size_t dst) {
+          sx[dst] = px[src];
+          sy[dst] = py[src];
+          if (sz != nullptr) sz[dst] = pz[src];
+          sux[dst] = pux[src];
+          suy[dst] = puy[src];
+          suz[dst] = puz[src];
+          sr0[dst] = pr0[src];
+          sr1[dst] = pr1[src];
+          if (sv0 != nullptr) {
+            sv0[dst] = pv0[src];
+            sv1[dst] = pv1[src];
+          }
+          sperm[dst] = pperm[src];
+          scell[dst] = pcell[src];
+          sflags[dst] = pflags[src];
+          sid[dst] = pid[src];
+        });
+    swap_arrays(scratch);
+  }
+
   // Applies a sort permutation: this[i] <- this[order[i]] for every array.
   // `scratch` provides reusable buffers; contents are swapped in.
   void reorder(cmdp::ThreadPool& pool, std::span<const std::uint32_t> order,
@@ -130,6 +193,26 @@ struct ParticleStore {
     cmdp::gather<std::uint8_t>(pool, flags, order, scratch.flags);
     flags.swap(scratch.flags);
     cmdp::gather<std::uint32_t>(pool, id, order, scratch.id);
+    id.swap(scratch.id);
+  }
+
+ private:
+  void swap_arrays(ParticleStore& scratch) {
+    x.swap(scratch.x);
+    y.swap(scratch.y);
+    if (has_z) z.swap(scratch.z);
+    ux.swap(scratch.ux);
+    uy.swap(scratch.uy);
+    uz.swap(scratch.uz);
+    r0.swap(scratch.r0);
+    r1.swap(scratch.r1);
+    if (has_vib) {
+      v0.swap(scratch.v0);
+      v1.swap(scratch.v1);
+    }
+    perm.swap(scratch.perm);
+    cell.swap(scratch.cell);
+    flags.swap(scratch.flags);
     id.swap(scratch.id);
   }
 };

@@ -34,6 +34,7 @@
 #include "geom/grid.h"
 #include "geom/wedge.h"
 #include "physics/selection.h"
+#include "rng/rng.h"
 
 namespace cmdsmc::core {
 
@@ -53,10 +54,11 @@ class Simulation {
  public:
   // Phase indices for the performance breakdown (Table A).
   enum Phase : std::size_t {
-    kPhaseMove = 0,   // motion + boundary conditions + injection
-    kPhaseSort,       // key build + rank sort + gather
-    kPhaseSelect,     // cell counts + selection rule
-    kPhaseCollide,    // collision of selected partners
+    kPhaseMove = 0,   // motion + boundary conditions + injection + sort keys
+    kPhaseSort,       // one-pass counting sort + fused record scatter
+    kPhaseSelect,     // kept for reporting compat; 0 since the select/collide
+                      // fusion (cell tables now fall out of the sort)
+    kPhaseCollide,    // selection + collision of partners (fused traversal)
     kPhaseSample,     // time-average accumulation
     kPhaseCount,
   };
@@ -90,6 +92,10 @@ class Simulation {
     return cfg_.body ? &cfg_.body.value() : nullptr;
   }
   const std::vector<double>& open_fraction() const { return open_frac_; }
+  // Per-cell "no boundary reachable" mask driving the move fast path.
+  const std::vector<std::uint8_t>& interior_mask() const {
+    return interior_mask_;
+  }
   const physics::SelectionRule& selection_rule() const { return rule_; }
   ParticleStore<Real>& particles() { return store_; }
   const ParticleStore<Real>& particles() const { return store_; }
@@ -119,13 +125,36 @@ class Simulation {
   void init_particles();
   void phase_move_and_boundaries();
   void inject_void(double width, double x_offset);
-  void soft_source_topup();
+  // `strip_count` = flow particles in the first column, tallied during the
+  // move loop (the standalone O(n) counting pass is gone).
+  void soft_source_topup(std::size_t strip_count);
   void phase_sort();
-  void phase_select();
-  void phase_collide();
+  // One fused traversal: candidate pairing + acceptance + collision.  Pairs
+  // are disjoint, so fusing is bit-identical to the historical two-pass
+  // select-then-collide while skipping the accept-flag round trip.
+  void phase_select_and_collide();
   void phase_sample();
+  // Randomized sort key of particle i from its current cell/state.  Fused
+  // into the move loop (and the injection paths) so the sort phase never
+  // makes a separate key-generation pass.  KeyParams hoists every config
+  // load; key_from is the single derivation shared by the hot loop and
+  // sort_key_for, so the scheme cannot silently diverge between them.
+  struct KeyParams {
+    std::uint32_t scale = 1;
+    std::uint32_t mask = 0;  // scale - 1 when scale is a power of two
+    bool randomize = false;
+    bool dirty = false;
+    std::uint64_t seed_round = 0;
+    std::uint64_t step = 0;
+  };
+  KeyParams key_params() const;
+  std::uint32_t key_from(const KeyParams& kp, std::size_t i,
+                         std::uint32_t cell) const;
+  std::uint32_t sort_key_for(std::size_t i) const;
   std::uint64_t bits_for(std::uint64_t i, std::uint64_t salt) const {
-    return rng::hash4(cfg_.seed, i, static_cast<std::uint64_t>(step_), salt);
+    // seed_round_ caches hash4's seed-only first round (bit-identical).
+    return rng::hash4_seeded(seed_round_, i, static_cast<std::uint64_t>(step_),
+                             salt);
   }
   // "Quick but dirty" bits from the low-order state bits (paper).
   std::uint64_t dirty_state_bits(std::size_t i) const;
@@ -136,7 +165,9 @@ class Simulation {
   geom::Grid grid_;
   std::optional<geom::Wedge> wedge_;
   std::vector<double> open_frac_;
+  std::vector<std::uint8_t> interior_mask_;
   physics::SelectionRule rule_;
+  std::uint64_t seed_round_ = 0;  // hash4_seed_round(cfg_.seed)
   double u_inf_ = 0.0;          // freestream speed (cells/step)
   double n_inf_ = 0.0;          // freestream particles per cell volume
   std::uint32_t ncells_ = 0;    // real grid cells
@@ -146,10 +177,15 @@ class Simulation {
   ParticleStore<Real> store_;
   ParticleStore<Real> scratch_;
   std::vector<std::uint32_t> keys_;
+  // Per-lane key histograms accumulated while the move loop writes keys_,
+  // handed to counting_sort_plan_from_counts so the sort phase skips its
+  // counting pass.  key_count_lanes_ == 0 marks them invalid (radix-range
+  // key space, or the particle array grew after the move loop).
+  std::vector<std::uint32_t> key_counts_;
+  unsigned key_count_lanes_ = 0;
   std::vector<std::uint32_t> order_;
   std::vector<std::uint32_t> counts_;  // per pairing cell
   std::vector<std::uint32_t> starts_;
-  std::vector<std::uint8_t> accept_;
 
   std::size_t res_count_ = 0;  // reservoir particles (anywhere in the array)
   std::size_t res_tail_ = 0;   // reservoir particles contiguous at the tail

@@ -207,4 +207,92 @@ bool enforce_boundaries(ParticleState& p, const BoundaryConfig& bc,
   return true;
 }
 
+namespace {
+
+// Conservative segment-vs-closed-box overlap (Liang–Barsky clip).  Ties and
+// touching contacts count as overlap, so false negatives are impossible.
+bool segment_touches_box(double sx0, double sy0, double sx1, double sy1,
+                         double bx0, double by0, double bx1, double by1) {
+  double t0 = 0.0, t1 = 1.0;
+  const double dx = sx1 - sx0;
+  const double dy = sy1 - sy0;
+  auto clip = [&](double p, double q) {
+    if (p == 0.0) return q >= 0.0;
+    const double r = q / p;
+    if (p < 0.0) {
+      if (r > t1) return false;
+      if (r > t0) t0 = r;
+    } else {
+      if (r < t0) return false;
+      if (r < t1) t1 = r;
+    }
+    return true;
+  };
+  return clip(-dx, sx0 - bx0) && clip(dx, bx1 - sx0) &&
+         clip(-dy, sy0 - by0) && clip(dy, by1 - sy0) && t0 <= t1;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> interior_cell_mask(const Grid& grid,
+                                             const BoundaryConfig& bc,
+                                             double upstream_reach,
+                                             double max_disp) {
+  // Margin absorbing the floating-point rounding of x + ux: the true
+  // post-move position clears each boundary by construction, but the rounded
+  // sum may land up to half an ulp past it.  1e-6 cells dwarfs any such
+  // error (the fixed-point engine adds exactly, with no error at all).
+  constexpr double kMargin = 1e-6;
+  const double d = max_disp + kMargin;
+  std::vector<std::uint8_t> mask(static_cast<std::size_t>(grid.ncells()), 0);
+  // The solid outline as segments, tested exactly (not by bounding box, which
+  // would wrongly exclude the whole high-density region above a wedge's
+  // hypotenuse).  A box avoiding every face either misses the solid entirely
+  // or lies fully inside it; the center-point inside() test separates those.
+  struct Seg {
+    double x0, y0, x1, y1;
+  };
+  std::vector<Seg> segs;
+  if (bc.body != nullptr) {
+    for (const BodySegment& s : bc.body->segments())
+      segs.push_back({s.x0, s.y0, s.x1, s.y1});
+  } else if (bc.wedge != nullptr) {
+    const double x0 = bc.wedge->x0();
+    const double ax = bc.wedge->apex_x();
+    const double h = bc.wedge->height();
+    segs.push_back({x0, 0.0, ax, h});   // hypotenuse
+    segs.push_back({ax, h, ax, 0.0});   // back face
+    segs.push_back({ax, 0.0, x0, 0.0});  // floor edge
+  }
+  auto box_touches_solid = [&](double bx0, double by0, double bx1,
+                               double by1) {
+    for (const Seg& s : segs)
+      if (segment_touches_box(s.x0, s.y0, s.x1, s.y1, bx0, by0, bx1, by1))
+        return true;
+    const double cx = 0.5 * (bx0 + bx1);
+    const double cy = 0.5 * (by0 + by1);
+    if (bc.body != nullptr) return bc.body->inside(cx, cy);
+    if (bc.wedge != nullptr) return bc.wedge->inside(cx, cy);
+    return false;
+  };
+  const int nz = grid.is3d() ? grid.nz : 1;
+  for (int iz = 0; iz < nz; ++iz) {
+    for (int iy = 0; iy < grid.ny; ++iy) {
+      for (int ix = 0; ix < grid.nx; ++ix) {
+        // A particle starting anywhere in [ix, ix+1) x [iy, iy+1) and moving
+        // at most d per axis stays strictly inside (ix-d, ix+1+d) x ... —
+        // interior iff that expanded box clears every boundary.
+        bool ok = ix - d >= upstream_reach && ix + 1 + d <= bc.x_max &&
+                  iy - d >= 0.0 && iy + 1 + d <= bc.y_max;
+        if (bc.z_max > 0.0)
+          ok = ok && iz - d >= 0.0 && iz + 1 + d <= bc.z_max;
+        if (ok && !segs.empty())
+          ok = !box_touches_solid(ix - d, iy - d, ix + 1 + d, iy + 1 + d);
+        mask[grid.index(ix, iy, iz)] = ok ? 1u : 0u;
+      }
+    }
+  }
+  return mask;
+}
+
 }  // namespace cmdsmc::geom

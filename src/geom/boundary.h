@@ -14,8 +14,10 @@
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 #include "geom/body.h"
+#include "geom/grid.h"
 #include "geom/wedge.h"
 
 namespace cmdsmc::geom {
@@ -116,5 +118,21 @@ struct BoundaryConfig {
 bool enforce_boundaries(ParticleState& p, const BoundaryConfig& bc,
                         std::uint64_t rand_bits,
                         WallEventBuffer* events = nullptr);
+
+// Per-cell interior mask for the move-phase fast path.  mask[c] != 0 means
+// no boundary — domain face, upstream wall anywhere in its sweep range, body
+// or wedge bounding box — is reachable from anywhere inside cell c by a
+// displacement of at most `max_disp` cells per axis.  A particle in a masked
+// cell moving slower than that bound provably needs no boundary enforcement
+// this step (enforce_boundaries would return true without touching it).
+//
+// `upstream_reach` is the largest x the upstream hard wall can occupy: the
+// plunger trigger plus one step of sweep for the plunger mode, 0 for the
+// fixed wall / soft source.  Cells adjacent to any boundary (closer than
+// max_disp) are never masked; the mask is geometry-only and step-invariant.
+std::vector<std::uint8_t> interior_cell_mask(const Grid& grid,
+                                             const BoundaryConfig& bc,
+                                             double upstream_reach,
+                                             double max_disp);
 
 }  // namespace cmdsmc::geom

@@ -24,7 +24,13 @@ struct Num<double> {
   static double half(double v, std::uint32_t /*bit*/) { return 0.5 * v; }
   static double half_truncate(double v) { return 0.5 * v; }
   static int floor_int(double v) { return static_cast<int>(std::floor(v)); }
-  static double neg_if(double v, bool neg) { return neg ? -v : v; }
+  // Branchless sign flip: the collision kernel calls this five times per
+  // pair with *random* sign bits, which a conditional would mispredict half
+  // the time.  XOR on the sign bit is exact for every value.
+  static double neg_if(double v, bool neg) {
+    return std::bit_cast<double>(std::bit_cast<std::uint64_t>(v) ^
+                                 (static_cast<std::uint64_t>(neg) << 63));
+  }
   // Low-order state bits for the "quick but dirty" random source.
   static std::uint32_t raw32(double v) {
     return static_cast<std::uint32_t>(std::bit_cast<std::uint64_t>(v));
@@ -42,7 +48,13 @@ struct Num<fixedpoint::Fixed32> {
   }
   static F half_truncate(F v) { return fixedpoint::half_truncate(v); }
   static int floor_int(F v) { return v.raw >> F::kFracBits; }
-  static F neg_if(F v, bool neg) { return neg ? -v : v; }
+  // Branchless two's-complement negation (see Num<double>::neg_if): x^-m
+  // + m is x for m == 0 and -x for m == 1, wrap-exact like unary minus.
+  static F neg_if(F v, bool neg) {
+    const auto m = static_cast<std::uint32_t>(neg);
+    const auto u = static_cast<std::uint32_t>(v.raw);
+    return F::from_raw(static_cast<std::int32_t>((u ^ (0u - m)) + m));
+  }
   static std::uint32_t raw32(F v) { return static_cast<std::uint32_t>(v.raw); }
 };
 

@@ -18,14 +18,27 @@ constexpr std::uint64_t mix64(std::uint64_t z) {
   return z ^ (z >> 31);
 }
 
-// Stateless hash of a (seed, id, step, salt) tuple into 64 random bits.
-constexpr std::uint64_t hash4(std::uint64_t seed, std::uint64_t id,
-                              std::uint64_t step, std::uint64_t salt) {
-  std::uint64_t h = mix64(seed ^ 0x243f6a8885a308d3ull);
-  h = mix64(h ^ id);
+// First round of hash4: depends only on the seed, so hot loops hoist it once
+// per run and draw with hash4_seeded below.
+constexpr std::uint64_t hash4_seed_round(std::uint64_t seed) {
+  return mix64(seed ^ 0x243f6a8885a308d3ull);
+}
+
+// Remaining rounds of hash4 given the precomputed seed round.  Bit-identical
+// to hash4(seed, id, step, salt) with seed_round = hash4_seed_round(seed),
+// at three mix rounds instead of four.
+constexpr std::uint64_t hash4_seeded(std::uint64_t seed_round, std::uint64_t id,
+                                     std::uint64_t step, std::uint64_t salt) {
+  std::uint64_t h = mix64(seed_round ^ id);
   h = mix64(h ^ (step + 0x452821e638d01377ull));
   h = mix64(h ^ (salt * 0x9e3779b97f4a7c15ull + 1));
   return h;
+}
+
+// Stateless hash of a (seed, id, step, salt) tuple into 64 random bits.
+constexpr std::uint64_t hash4(std::uint64_t seed, std::uint64_t id,
+                              std::uint64_t step, std::uint64_t salt) {
+  return hash4_seeded(hash4_seed_round(seed), id, step, salt);
 }
 
 // Small sequential generator seeded from any 64-bit value (SplitMix64).

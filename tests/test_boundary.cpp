@@ -230,3 +230,103 @@ TEST(Plunger, SweptVolumeMatchesInjectedVolumeOverManyCycles) {
   // Flux conservation: total refilled void == total distance travelled.
   EXPECT_NEAR(injected + pl.x, pl.speed * nsteps, 1e-9);
 }
+
+// --- Interior-mask precomputation (the move-phase fast path) ---
+
+namespace {
+
+// Brute-force safety check: from every corner of a masked cell, move by every
+// combination of +/-d per axis and verify enforce_boundaries is a no-op.
+void expect_mask_is_safe(const geom::Grid& grid, const geom::BoundaryConfig& bc,
+                         const std::vector<std::uint8_t>& mask, double d) {
+  int checked = 0;
+  for (int iy = 0; iy < grid.ny; ++iy) {
+    for (int ix = 0; ix < grid.nx; ++ix) {
+      if (!mask[grid.index(ix, iy)]) continue;
+      for (double fx : {0.0, 0.5, 0.999}) {
+        for (double fy : {0.0, 0.5, 0.999}) {
+          for (double dx : {-d, 0.0, d}) {
+            for (double dy : {-d, 0.0, d}) {
+              geom::ParticleState p;
+              p.x = ix + fx + dx;
+              p.y = iy + fy + dy;
+              p.ux = dx;
+              p.uy = dy;
+              const geom::ParticleState before = p;
+              ASSERT_TRUE(geom::enforce_boundaries(p, bc, 123u));
+              ASSERT_EQ(p.x, before.x) << "cell " << ix << "," << iy;
+              ASSERT_EQ(p.y, before.y);
+              ASSERT_EQ(p.ux, before.ux);
+              ASSERT_EQ(p.uy, before.uy);
+              ++checked;
+            }
+          }
+        }
+      }
+    }
+  }
+  ASSERT_GT(checked, 0) << "mask is empty - test misconfigured";
+}
+
+}  // namespace
+
+TEST(InteriorMask, WedgeTunnelMaskIsConservativeAndUseful) {
+  const geom::Grid grid{98, 64, 0};
+  geom::Wedge wedge(20.0, 25.0, 30.0 * kRad);
+  geom::BoundaryConfig bc = tunnel();
+  bc.wedge = &wedge;
+  const double d = 2.0;
+  const double reach = 3.0 + 0.9;  // plunger trigger + one step of sweep
+  const auto mask = geom::interior_cell_mask(grid, bc, reach, d);
+  expect_mask_is_safe(grid, bc, mask, d);
+  // Cells adjacent to the domain faces, the plunger sweep range and the
+  // wedge must never be masked.
+  for (int ix = 0; ix < grid.nx; ++ix) {
+    EXPECT_FALSE(mask[grid.index(ix, 0)]);
+    EXPECT_FALSE(mask[grid.index(ix, grid.ny - 1)]);
+  }
+  for (int iy = 0; iy < grid.ny; ++iy) {
+    EXPECT_FALSE(mask[grid.index(0, iy)]);            // upstream
+    EXPECT_FALSE(mask[grid.index(5, iy)]);            // inside plunger reach
+    EXPECT_FALSE(mask[grid.index(grid.nx - 1, iy)]);  // sink
+  }
+  EXPECT_FALSE(mask[grid.index(30, 5)]);  // inside the wedge
+  EXPECT_FALSE(mask[grid.index(19, 1)]);  // hugging the leading edge
+  EXPECT_FALSE(mask[grid.index(46, 8)]);  // behind the back face
+  // The far field and the region above the hypotenuse (well clear of it)
+  // must be masked - the bounding box would wrongly exclude the latter.
+  EXPECT_TRUE(mask[grid.index(60, 32)]);
+  EXPECT_TRUE(mask[grid.index(24, 20)]);  // above the ramp, inside its bbox
+}
+
+TEST(InteriorMask, BodyMaskRespectsCylinder) {
+  const geom::Grid grid{48, 32, 0};
+  const geom::Body body = geom::Body::Cylinder(20.0, 16.0, 6.0, 16);
+  geom::BoundaryConfig bc;
+  bc.x_max = 48.0;
+  bc.y_max = 32.0;
+  bc.body = &body;
+  const double d = 1.0;
+  const auto mask = geom::interior_cell_mask(grid, bc, 0.0, d);
+  expect_mask_is_safe(grid, bc, mask, d);
+  EXPECT_FALSE(mask[grid.index(20, 16)]);  // center of the body
+  EXPECT_FALSE(mask[grid.index(13, 16)]);  // one cell off the windward face
+  EXPECT_TRUE(mask[grid.index(40, 16)]);   // wake, clear of everything
+  EXPECT_TRUE(mask[grid.index(20, 28)]);   // above the body
+}
+
+TEST(InteriorMask, ThreeDMasksZFaces) {
+  const geom::Grid grid{32, 16, 12};
+  geom::BoundaryConfig bc;
+  bc.x_max = 32.0;
+  bc.y_max = 16.0;
+  bc.z_max = 12.0;
+  const auto mask = geom::interior_cell_mask(grid, bc, 0.0, 2.0);
+  for (int iy = 0; iy < grid.ny; ++iy) {
+    for (int ix = 0; ix < grid.nx; ++ix) {
+      EXPECT_FALSE(mask[grid.index(ix, iy, 0)]);
+      EXPECT_FALSE(mask[grid.index(ix, iy, grid.nz - 1)]);
+    }
+  }
+  EXPECT_TRUE(mask[grid.index(16, 8, 6)]);
+}

@@ -130,3 +130,99 @@ TEST(Sort, IsPermutationDetectsCorruption) {
   std::vector<std::uint32_t> oob = {2, 0, 1, 4};
   EXPECT_FALSE(cmdp::is_permutation_of_iota(oob));
 }
+
+// --- Plan/apply API: the fused one-pass sort the simulation hot loop uses ---
+
+namespace {
+
+// Reference per-key exclusive starts (size bound + 1).
+std::vector<std::uint32_t> reference_starts(
+    const std::vector<std::uint32_t>& keys, std::uint32_t bound) {
+  std::vector<std::uint32_t> starts(bound + 1, 0);
+  for (auto k : keys) ++starts[k + 1];
+  for (std::uint32_t k = 0; k < bound; ++k) starts[k + 1] += starts[k];
+  return starts;
+}
+
+}  // namespace
+
+TEST(SortPlan, KeyStartsMatchReference) {
+  for (unsigned threads : {1u, 4u}) {
+    cmdp::ThreadPool pool(threads);
+    const std::uint32_t bound = 777;
+    const auto keys = random_keys(60000, bound, 11);
+    const cmdp::SortPlan plan = cmdp::counting_sort_plan(pool, keys, bound);
+    EXPECT_EQ(plan.n, keys.size());
+    EXPECT_EQ(plan.key_bound, bound);
+    const auto ref = reference_starts(keys, bound);
+    // Single-lane plans alias the cursors onto key_starts and apply consumes
+    // them, so the table must be checked before any apply.
+    ASSERT_EQ(plan.key_starts.size(), ref.size());
+    for (std::size_t k = 0; k < ref.size(); ++k)
+      EXPECT_EQ(plan.key_starts[k], ref[k]) << "key " << k << " @" << threads;
+  }
+}
+
+TEST(SortPlan, ApplyProducesStableOrder) {
+  for (unsigned threads : {1u, 3u, 6u}) {
+    cmdp::ThreadPool pool(threads);
+    const std::uint32_t bound = 93;
+    const auto keys = random_keys(40000, bound, 12);
+    const cmdp::SortPlan plan = cmdp::counting_sort_plan(pool, keys, bound);
+    std::vector<std::uint32_t> order(keys.size());
+    cmdp::apply_sort_plan(pool, keys, plan,
+                          [&](std::size_t src, std::size_t dst) {
+                            order[dst] = static_cast<std::uint32_t>(src);
+                          });
+    EXPECT_EQ(order, reference_order(keys)) << threads << " threads";
+  }
+}
+
+TEST(SortPlan, FromCountsMatchesDirectPlan) {
+  for (unsigned threads : {1u, 4u}) {
+    cmdp::ThreadPool pool(threads);
+    const std::uint32_t bound = 555;
+    const std::size_t n = 50000;
+    const auto keys = random_keys(n, bound, 13);
+    // Accumulate per-lane counts exactly the way a fused producer would:
+    // lane t counts the keys of lane_range(n, t, lanes).
+    const unsigned lanes = cmdp::sort_plan_lanes(pool, n);
+    std::vector<std::uint32_t> lane_counts(
+        static_cast<std::size_t>(lanes) * bound, 0);
+    for (unsigned t = 0; t < lanes; ++t) {
+      const cmdp::Range r = cmdp::lane_range(n, t, lanes);
+      for (std::size_t i = r.begin; i < r.end; ++i)
+        ++lane_counts[static_cast<std::size_t>(t) * bound + keys[i]];
+    }
+    const cmdp::SortPlan plan = cmdp::counting_sort_plan_from_counts(
+        pool, lane_counts, lanes, n, bound);
+    const auto ref = reference_starts(keys, bound);
+    for (std::size_t k = 0; k < ref.size(); ++k)
+      EXPECT_EQ(plan.key_starts[k], ref[k]) << "key " << k << " @" << threads;
+    std::vector<std::uint32_t> order(n);
+    cmdp::apply_sort_plan(pool, keys, plan,
+                          [&](std::size_t src, std::size_t dst) {
+                            order[dst] = static_cast<std::uint32_t>(src);
+                          });
+    EXPECT_EQ(order, reference_order(keys)) << threads << " threads";
+  }
+}
+
+TEST(SortPlan, WorkspaceReuseAcrossCalls) {
+  // Two different sorts back to back on one pool must not contaminate each
+  // other through the shared workspace arena.
+  cmdp::ThreadPool pool(4);
+  const auto keys_a = random_keys(30000, 400, 14);
+  const auto keys_b = random_keys(45000, 90, 15);
+  std::vector<std::uint32_t> order_a(keys_a.size());
+  std::vector<std::uint32_t> order_b(keys_b.size());
+  cmdp::counting_sort_index(pool, keys_a, 400, order_a);
+  cmdp::counting_sort_index(pool, keys_b, 90, order_b);
+  EXPECT_EQ(order_b, reference_order(keys_b));
+  cmdp::counting_sort_index(pool, keys_a, 400, order_a);
+  EXPECT_EQ(order_a, reference_order(keys_a));
+  // Releasing the arena must be harmless.
+  pool.workspace().release();
+  cmdp::counting_sort_index(pool, keys_a, 400, order_a);
+  EXPECT_EQ(order_a, reference_order(keys_a));
+}

@@ -1,0 +1,219 @@
+// Golden bit-identity tests for the fused step pipeline.
+//
+// The per-step pipeline (move+BC, sort, select, collide) has been
+// restructured for speed several times; these tests pin the *exact* results
+// (cumulative counters, a hash over every particle's state bits, and a hash
+// over the time-averaged fields) of short wedge and cylinder runs at a fixed
+// seed, for both the double and the fixed-point engines.  Any refactor that
+// changes physics — a different stable order, an extra or missing RNG draw,
+// a changed rounding — flips these hashes.
+//
+// The pinned values were produced by the pre-fusion pipeline (PR 2 state:
+// separate key-generation pass, histogram+scan in phase_select, gather-based
+// reorder) and must survive every later restructuring bit-for-bit.
+//
+// Regenerate (after an *intentional* physics change only) with:
+//   GOLDEN_PRINT=1 ./test_golden_pipeline
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+
+#include "cmdp/thread_pool.h"
+#include "core/simulation.h"
+#include "fixedpoint/fixed32.h"
+#include "geom/body.h"
+
+namespace {
+
+using namespace cmdsmc;
+
+std::uint64_t fnv1a(std::uint64_t h, std::uint64_t v) {
+  for (int b = 0; b < 8; ++b) {
+    h ^= (v >> (8 * b)) & 0xffu;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+std::uint64_t bits_of(double v) { return std::bit_cast<std::uint64_t>(v); }
+std::uint64_t bits_of(fixedpoint::Fixed32 v) {
+  return static_cast<std::uint32_t>(v.raw);
+}
+
+// Hash over every particle's full state bits, the array order (the stable
+// sort's output), the flags/cells, and the cumulative counters.  Exact: any
+// single-bit divergence anywhere in the run changes it.
+template <class Real>
+std::uint64_t state_hash(const core::Simulation<Real>& sim) {
+  const auto& st = sim.particles();
+  std::uint64_t h = 1469598103934665603ull;
+  for (std::size_t i = 0; i < st.size(); ++i) {
+    h = fnv1a(h, bits_of(st.x[i]));
+    h = fnv1a(h, bits_of(st.y[i]));
+    if (st.has_z) h = fnv1a(h, bits_of(st.z[i]));
+    h = fnv1a(h, bits_of(st.ux[i]));
+    h = fnv1a(h, bits_of(st.uy[i]));
+    h = fnv1a(h, bits_of(st.uz[i]));
+    h = fnv1a(h, bits_of(st.r0[i]));
+    h = fnv1a(h, bits_of(st.r1[i]));
+    if (st.has_vib) {
+      h = fnv1a(h, bits_of(st.v0[i]));
+      h = fnv1a(h, bits_of(st.v1[i]));
+    }
+    h = fnv1a(h, static_cast<std::uint64_t>(st.perm[i]));
+    h = fnv1a(h, st.cell[i]);
+    h = fnv1a(h, st.flags[i]);
+    h = fnv1a(h, st.id[i]);
+  }
+  const auto& c = sim.counters();
+  h = fnv1a(h, c.candidates);
+  h = fnv1a(h, c.collisions);
+  h = fnv1a(h, c.reservoir_collisions);
+  h = fnv1a(h, c.removed);
+  h = fnv1a(h, c.injected);
+  h = fnv1a(h, c.synthesized);
+  h = fnv1a(h, sim.total_count());
+  h = fnv1a(h, sim.reservoir_count());
+  return h;
+}
+
+// Hash over the finalized time-averaged fields.  Lane-summed doubles, so only
+// meaningful at a pinned thread count (kGoldenThreads below).
+std::uint64_t field_hash(const core::FieldStats& f) {
+  std::uint64_t h = 1469598103934665603ull;
+  h = fnv1a(h, static_cast<std::uint64_t>(f.samples));
+  for (const auto* v : {&f.density, &f.ux, &f.uy, &f.t_trans, &f.t_rot}) {
+    for (double x : *v) h = fnv1a(h, bits_of(x));
+  }
+  return h;
+}
+
+// Diagnostics reductions (fused total_momentum) folded into one hash.
+template <class Real>
+std::uint64_t diag_hash(const core::Simulation<Real>& sim) {
+  std::uint64_t h = 1469598103934665603ull;
+  const auto p = sim.total_momentum();
+  h = fnv1a(h, bits_of(p[0]));
+  h = fnv1a(h, bits_of(p[1]));
+  h = fnv1a(h, bits_of(p[2]));
+  h = fnv1a(h, bits_of(sim.total_energy()));
+  return h;
+}
+
+// The paper's wedge tunnel scaled down: plunger upstream boundary, specular
+// walls, sort randomization on, counter RNG.
+core::SimConfig wedge_cfg() {
+  core::SimConfig cfg;
+  cfg.nx = 60;
+  cfg.ny = 32;
+  cfg.wedge_x0 = 12.0;
+  cfg.wedge_base = 18.0;
+  cfg.wedge_angle_deg = 30.0;
+  cfg.particles_per_cell = 8.0;
+  cfg.lambda_inf = 0.5;
+  cfg.seed = 0x5eed601dULL;
+  return cfg;
+}
+
+// A generalized body + the vector-machine upstream path: cylinder with
+// diffuse-isothermal walls, soft-source inflow (exercises the strip-count
+// top-up), body open-fraction cells.
+core::SimConfig cylinder_cfg() {
+  core::SimConfig cfg;
+  cfg.nx = 48;
+  cfg.ny = 32;
+  cfg.has_wedge = false;
+  cfg.body = geom::Body::Cylinder(20.0, 16.0, 6.0, 16);
+  cfg.upstream = geom::UpstreamMode::kSoftSource;
+  cfg.wall = geom::WallModel::kDiffuseIsothermal;
+  cfg.particles_per_cell = 8.0;
+  cfg.lambda_inf = 0.5;
+  cfg.seed = 0x5eed601dULL;
+  return cfg;
+}
+
+constexpr unsigned kGoldenThreads = 3;
+constexpr int kWarmSteps = 20;
+constexpr int kAvgSteps = 10;
+
+struct GoldenTriple {
+  std::uint64_t state;
+  std::uint64_t field;
+  std::uint64_t diag;
+};
+
+template <class Real>
+GoldenTriple run_case(const core::SimConfig& cfg, unsigned threads) {
+  cmdp::ThreadPool pool(threads);
+  core::Simulation<Real> sim(cfg, &pool);
+  sim.run(kWarmSteps);
+  sim.set_sampling(true);
+  sim.run(kAvgSteps);
+  return {state_hash(sim), field_hash(sim.field()), diag_hash(sim)};
+}
+
+void check(const char* name, const GoldenTriple& got,
+           const GoldenTriple& want) {
+  if (std::getenv("GOLDEN_PRINT") != nullptr) {
+    std::printf("  {0x%016llxull, 0x%016llxull, 0x%016llxull},  // %s\n",
+                static_cast<unsigned long long>(got.state),
+                static_cast<unsigned long long>(got.field),
+                static_cast<unsigned long long>(got.diag), name);
+    return;
+  }
+  EXPECT_EQ(got.state, want.state) << name << ": particle state diverged";
+  EXPECT_EQ(got.field, want.field) << name << ": sampled fields diverged";
+  EXPECT_EQ(got.diag, want.diag) << name << ": diagnostics diverged";
+}
+
+// Pinned pre-refactor values (see header comment).
+constexpr GoldenTriple kGolden[4] = {
+    {0x1a0ebf06f9f54e5aull, 0x97057b93f77259fcull, 0x83726853f599984cull},
+    // wedge double ^, wedge fixed v
+    {0x52a549304519061eull, 0x3680e4194eb508b7ull, 0x45b437e2a62ca66aull},
+    {0x71f2d96154f643f1ull, 0x5ec0474e57fb5f3dull, 0x2115fcd97095ffddull},
+    // cylinder double ^, cylinder fixed v
+    {0x3d29e0bd4bb9eff4ull, 0x251c9d1972932f3full, 0xd9542098dd6ab304ull},
+};
+
+}  // namespace
+
+TEST(GoldenPipeline, WedgeDouble) {
+  check("wedge double", run_case<double>(wedge_cfg(), kGoldenThreads),
+        kGolden[0]);
+}
+
+TEST(GoldenPipeline, WedgeFixed) {
+  check("wedge fixed", run_case<fixedpoint::Fixed32>(wedge_cfg(),
+                                                     kGoldenThreads),
+        kGolden[1]);
+}
+
+TEST(GoldenPipeline, CylinderDouble) {
+  check("cylinder double", run_case<double>(cylinder_cfg(), kGoldenThreads),
+        kGolden[2]);
+}
+
+TEST(GoldenPipeline, CylinderFixed) {
+  check("cylinder fixed",
+        run_case<fixedpoint::Fixed32>(cylinder_cfg(), kGoldenThreads),
+        kGolden[3]);
+}
+
+// The particle state (sorted order, counters, every state bit) must not
+// depend on the thread count: the sort is stable and deterministic per lane
+// partition, all counters are integers, and no RNG draw depends on a lane id.
+TEST(GoldenPipeline, StateIsThreadCountInvariant) {
+  // (The diag/field hashes are lane-summed doubles and legitimately change
+  // association with the thread count; only the particle state is compared.)
+  const auto a = run_case<double>(wedge_cfg(), 1);
+  const auto b = run_case<double>(wedge_cfg(), kGoldenThreads);
+  EXPECT_EQ(a.state, b.state);
+  const auto c = run_case<fixedpoint::Fixed32>(cylinder_cfg(), 1);
+  const auto d = run_case<fixedpoint::Fixed32>(cylinder_cfg(),
+                                               kGoldenThreads);
+  EXPECT_EQ(c.state, d.state);
+}
