@@ -21,8 +21,8 @@ int main(int argc, char** argv) {
 
     std::printf("cmdsmc cylinder: Mach %.1f, radius %.1f cells (%d facets), "
                 "lambda_inf = %g, T_wall/T_inf = %.2f\n",
-                spec.config.mach, spec.body.radius, spec.body.facets,
-                spec.config.lambda_inf, spec.body.wall_temperature_ratio);
+                spec.config.mach, spec.bodies[0].radius, spec.bodies[0].facets,
+                spec.config.lambda_inf, spec.bodies[0].wall_temperature_ratio);
     scenario::Runner runner(std::move(spec));
     runner.add_spec_sinks();
     const scenario::RunResult r = runner.run();

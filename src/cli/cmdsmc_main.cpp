@@ -34,6 +34,7 @@ int usage(std::FILE* to) {
                "  cmdsmc run wedge-mach4 steps=200\n"
                "  cmdsmc run cylinder-mach10 mach=8 body.twall=0.5 "
                "body.facets=48\n"
+               "  cmdsmc run tandem_cylinders body1.x0=100 steps=400\n"
                "  cmdsmc run wedge-mach4 precision=fixed lambda=0.5 "
                "sinks=ascii,json\n");
   return to == stderr ? 2 : 0;
@@ -53,8 +54,13 @@ std::string grid_string(const core::SimConfig& cfg) {
 }
 
 std::string body_string(const scenario::ScenarioSpec& s) {
-  if (s.body.kind != scenario::BodyKind::kNone)
-    return scenario::body_kind_name(s.body.kind);
+  std::string out;
+  for (const scenario::BodySpec& b : s.bodies) {
+    if (b.kind == scenario::BodyKind::kNone) continue;
+    if (!out.empty()) out += " + ";
+    out += scenario::body_kind_name(b.kind);
+  }
+  if (!out.empty()) return out;
   if (s.config.has_wedge) return "wedge (legacy)";
   return "none";
 }
@@ -90,6 +96,12 @@ int cmd_describe(const std::string& name) {
   for (const std::string& key : scenario::override_keys())
     std::printf("  %-30s %s\n", key.c_str(),
                 scenario::override_help(key).c_str());
+  std::printf(
+      "\nbody.* keys address scene body N as body<N>.* (body0.* == body.*);\n"
+      "mentioning a new index appends a body, e.g.\n"
+      "  cmdsmc run %s body1.kind=cylinder body1.x0=80 body1.y0=32 "
+      "body1.radius=4\n",
+      spec.name.c_str());
   return 0;
 }
 

@@ -56,6 +56,13 @@ struct SimConfig {
   // models on it before constructing the Simulation; a body left entirely
   // specular inherits `wall` / `wall_sigma` below as its default.
   std::optional<geom::Body> body;
+  // Additional bodies of a multi-body scene.  The Simulation assembles
+  // `body` (first, when set) and this list into one geom::Scene; every
+  // body obeys the same wall-model inheritance rule as `body`.  Surface
+  // statistics are reported per body and as scene totals.
+  std::vector<geom::Body> bodies;
+
+  bool has_body_scene() const { return body.has_value() || !bodies.empty(); }
 
   // --- Gas model ---
   physics::GasModel gas{};
@@ -125,11 +132,16 @@ struct SimConfig {
       throw std::invalid_argument("SimConfig: particles_per_cell must be > 0");
     if (reservoir_fraction < 0.0)
       throw std::invalid_argument("SimConfig: reservoir_fraction must be >= 0");
+    auto check_body = [&](const geom::Body& b) {
+      if (b.xmin() < 0.0 || b.xmax() >= nx || b.ymin() < 0.0 ||
+          b.ymax() >= ny)
+        throw std::invalid_argument("SimConfig: body '" + b.name() +
+                                    "' outside the domain");
+    };
+    for (const geom::Body& b : bodies) check_body(b);
     if (body) {
-      if (body->xmin() < 0.0 || body->xmax() >= nx || body->ymin() < 0.0 ||
-          body->ymax() >= ny)
-        throw std::invalid_argument("SimConfig: body outside the domain");
-    } else if (has_wedge) {
+      check_body(*body);
+    } else if (bodies.empty() && has_wedge) {
       if (wedge_x0 < 0.0 || wedge_x0 + wedge_base >= nx)
         throw std::invalid_argument("SimConfig: wedge outside the domain");
       if (wedge_angle_deg <= 0.0 || wedge_angle_deg >= 90.0)

@@ -9,6 +9,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <stdexcept>
 #include <vector>
 
 #include "cmdp/parallel.h"
@@ -140,6 +141,18 @@ class FieldSampler {
       f.t_total[c] = (3.0 * f.t_trans[c] + 2.0 * f.t_rot[c]) / 5.0;
     }
     return f;
+  }
+
+  // --- Checkpoint access (core/checkpoint.*) ---
+  // The per-cell moment accumulator (ncells * 8 doubles); lane scratch is
+  // per-step transient state and never part of a checkpoint.
+  const std::vector<double>& accumulated() const { return sums_; }
+  void restore(int samples, const std::vector<double>& sums) {
+    if (samples < 0 || sums.size() != sums_.size())
+      throw std::invalid_argument(
+          "FieldSampler::restore: accumulator shape mismatch");
+    samples_ = samples;
+    sums_ = sums;
   }
 
  private:

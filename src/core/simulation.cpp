@@ -2,7 +2,10 @@
 
 #include <algorithm>
 #include <atomic>
+#include <bit>
+#include <cassert>
 #include <cmath>
+#include <stdexcept>
 
 #include "cmdp/parallel.h"
 #include "cmdp/scan.h"
@@ -42,10 +45,14 @@ enum Salt : std::uint64_t {
 SimConfig validated(SimConfig cfg) {
   // A body whose segment walls were never customized inherits the config's
   // global wall model, so migrating a diffuse-wall setup from the wedge
-  // fields to cfg.body does not silently fall back to specular walls.
-  if (cfg.body && cfg.wall != geom::WallModel::kSpecular &&
-      !cfg.body->any_diffuse())
-    cfg.body->set_wall_model(cfg.wall, cfg.wall_sigma);
+  // fields to cfg.body / cfg.bodies does not silently fall back to specular
+  // walls.
+  if (cfg.wall != geom::WallModel::kSpecular) {
+    if (cfg.body && !cfg.body->any_diffuse())
+      cfg.body->set_wall_model(cfg.wall, cfg.wall_sigma);
+    for (geom::Body& b : cfg.bodies)
+      if (!b.any_diffuse()) b.set_wall_model(cfg.wall, cfg.wall_sigma);
+  }
   cfg.validate();
   return cfg;
 }
@@ -57,15 +64,24 @@ geom::Grid make_grid(const SimConfig& cfg) {
 }
 
 std::optional<geom::Wedge> make_wedge(const SimConfig& cfg) {
-  // The generalized body replaces the wedge-specific path when present.
-  if (cfg.body || !cfg.has_wedge) return std::nullopt;
+  // Any generalized body replaces the wedge-specific path when present.
+  if (cfg.has_body_scene() || !cfg.has_wedge) return std::nullopt;
   return geom::Wedge(cfg.wedge_x0, cfg.wedge_base, cfg.wedge_angle_rad());
+}
+
+geom::Scene make_scene(const SimConfig& cfg) {
+  if (!cfg.has_body_scene()) return geom::Scene{};
+  std::vector<geom::Body> bodies;
+  bodies.reserve((cfg.body ? 1 : 0) + cfg.bodies.size());
+  if (cfg.body) bodies.push_back(*cfg.body);
+  for (const geom::Body& b : cfg.bodies) bodies.push_back(b);
+  return geom::Scene(std::move(bodies));
 }
 
 std::vector<double> make_open_fraction(const geom::Grid& grid,
                                        const std::optional<geom::Wedge>& w,
-                                       const std::optional<geom::Body>& b) {
-  if (b) return b->open_fraction_table(grid);
+                                       const geom::Scene& scene) {
+  if (!scene.empty()) return scene.open_fraction_table(grid);
   if (!w) return std::vector<double>(static_cast<std::size_t>(grid.ncells()),
                                      1.0);
   return w->open_fraction_table(grid);
@@ -79,7 +95,8 @@ Simulation<Real>::Simulation(const SimConfig& cfg, cmdp::ThreadPool* pool)
       pool_(pool != nullptr ? pool : &cmdp::ThreadPool::global()),
       grid_(make_grid(cfg_)),
       wedge_(make_wedge(cfg_)),
-      open_frac_(make_open_fraction(grid_, wedge_, cfg_.body)),
+      scene_(make_scene(cfg_)),
+      open_frac_(make_open_fraction(grid_, wedge_, scene_)),
       rule_(physics::SelectionRule::make(cfg_.gas, cfg_.lambda_inf, cfg_.sigma,
                                          cfg_.particles_per_cell)),
       sampler_(grid_, open_frac_, cfg_.particles_per_cell, cfg_.sigma) {
@@ -96,35 +113,76 @@ Simulation<Real>::Simulation(const SimConfig& cfg, cmdp::ThreadPool* pool)
   phase_id_[kPhaseSelect] = timers_.phase_id("select");
   phase_id_[kPhaseCollide] = timers_.phase_id("collide");
   phase_id_[kPhaseSample] = timers_.phase_id("sample");
-  if (cfg_.body)
-    surf_ = SurfaceSampler(cfg_.body->segment_count(), pool_->size(),
+  if (!scene_.empty())
+    surf_ = SurfaceSampler(scene_.total_segments(), pool_->size(),
                            grid_.is3d() ? grid_.nz : 1.0);
   plunger_.speed = u_inf_;
   plunger_.trigger = cfg_.plunger_trigger;
-  {
-    // The interior mask is geometry-only and step-invariant: the plunger's
-    // whole sweep range (trigger plus one step of advance) counts as
-    // boundary, so the mask never has to track the moving face.
-    geom::BoundaryConfig bc;
-    bc.x_max = grid_.nx;
-    bc.y_max = grid_.ny;
-    bc.z_max = grid_.is3d() ? grid_.nz : 0.0;
-    bc.body = cfg_.body ? &cfg_.body.value() : nullptr;
-    bc.wedge = wedge_ ? &wedge_.value() : nullptr;
-    const bool plunger_active =
-        !cfg_.closed_box && cfg_.upstream == geom::UpstreamMode::kPlunger;
-    const double reach =
-        plunger_active ? cfg_.plunger_trigger + u_inf_ : 0.0;
-    // Combine the per-displacement masks into levels: mask[c] == L means no
-    // boundary is reachable from cell c within the level-L displacement
-    // bound (0 = boundary-adjacent, slow path only).
-    interior_mask_ = geom::interior_cell_mask(grid_, bc, reach, kInteriorDispL1);
-    const std::vector<std::uint8_t> far =
-        geom::interior_cell_mask(grid_, bc, reach, kInteriorMaxDisp);
-    for (std::size_t c = 0; c < interior_mask_.size(); ++c)
-      if (far[c]) interior_mask_[c] = 2;
-  }
+  rebuild_interior_mask();
   init_particles();
+}
+
+template <class Real>
+void Simulation<Real>::rebuild_interior_mask() {
+  // The interior mask is geometry-only and step-invariant: the plunger's
+  // whole sweep range (trigger plus one step of advance) counts as
+  // boundary, so the mask never has to track the moving face.  It must be
+  // re-derived whenever the boundary state changes (construction and
+  // checkpoint restore are the only such points today) — a stale mask next
+  // to a newly added body would let particles skip enforce_boundaries at
+  // its surface.
+  geom::BoundaryConfig bc;
+  bc.x_max = grid_.nx;
+  bc.y_max = grid_.ny;
+  bc.z_max = grid_.is3d() ? grid_.nz : 0.0;
+  bc.scene = &scene_;
+  bc.wedge = wedge_ ? &wedge_.value() : nullptr;
+  const bool plunger_active =
+      !cfg_.closed_box && cfg_.upstream == geom::UpstreamMode::kPlunger;
+  const double reach = plunger_active ? cfg_.plunger_trigger + u_inf_ : 0.0;
+  // Combine the per-displacement masks into levels: mask[c] == L means no
+  // boundary is reachable from cell c within the level-L displacement
+  // bound (0 = boundary-adjacent, slow path only).
+  interior_mask_ = geom::interior_cell_mask(grid_, bc, reach, kInteriorDispL1);
+  const std::vector<std::uint8_t> far =
+      geom::interior_cell_mask(grid_, bc, reach, kInteriorMaxDisp);
+  for (std::size_t c = 0; c < interior_mask_.size(); ++c)
+    if (far[c]) interior_mask_[c] = 2;
+#ifndef NDEBUG
+  // Independent re-verification of the mask's promise: from a masked cell,
+  // no displacement within the level's bound can reach any scene body — no
+  // facet touches the expanded cell box and the box lies outside every
+  // solid.  (The body *bounding box* may legitimately overlap a masked
+  // cell: the region above a wedge's hypotenuse is inside its bbox but
+  // provably clear of the solid.)
+  for (int iz = 0; iz < (grid_.is3d() ? grid_.nz : 1); ++iz) {
+    for (int iy = 0; iy < grid_.ny; ++iy) {
+      for (int ix = 0; ix < grid_.nx; ++ix) {
+        const std::uint8_t level = interior_mask_[grid_.index(ix, iy, iz)];
+        if (level == 0) continue;
+        const double d = level == 2 ? kInteriorMaxDisp : kInteriorDispL1;
+        for (int b = 0; b < scene_.body_count(); ++b) {
+          const geom::Body& body = scene_.body(b);
+          // Cheap bbox pre-filter before the exact facet tests.
+          if (ix - d >= body.xmax() || ix + 1 + d <= body.xmin() ||
+              iy - d >= body.ymax() || iy + 1 + d <= body.ymin())
+            continue;
+          for (const geom::BodySegment& s : body.segments()) {
+            const bool touches = geom::segment_touches_box(
+                s.x0, s.y0, s.x1, s.y1, ix - d, iy - d, ix + 1 + d,
+                iy + 1 + d);
+            assert(!touches &&
+                   "interior mask covers a cell within reach of a facet");
+            (void)touches;
+          }
+          const bool buried = body.inside(ix + 0.5, iy + 0.5);
+          assert(!buried && "interior mask covers a cell inside a body");
+          (void)buried;
+        }
+      }
+    }
+  }
+#endif
 }
 
 template <class Real>
@@ -166,8 +224,7 @@ void Simulation<Real>::init_particles() {
     do {
       x = g.next_double() * nx;
       y = g.next_double() * ny;
-    } while ((wedge_ && wedge_->inside(x, y)) ||
-             (cfg_.body && cfg_.body->inside(x, y)));
+    } while ((wedge_ && wedge_->inside(x, y)) || scene_.inside(x, y));
     const double z = grid_.is3d() ? g.next_double() * nz : 0.0;
     store_.x[i] = N::from_double(x);
     store_.y[i] = N::from_double(y);
@@ -294,7 +351,7 @@ void Simulation<Real>::phase_move_and_boundaries() {
   bc.x_max = grid_.nx;
   bc.y_max = grid_.ny;
   bc.z_max = grid_.is3d() ? grid_.nz : 0.0;
-  bc.body = cfg_.body ? &cfg_.body.value() : nullptr;
+  bc.scene = &scene_;
   bc.wedge = wedge_ ? &wedge_.value() : nullptr;
   bc.plunger_x = plunger_.x + void_width;  // pre-withdrawal face position
   bc.plunger_speed = u_inf_;
@@ -303,10 +360,10 @@ void Simulation<Real>::phase_move_and_boundaries() {
   bc.wall_sigma = cfg_.wall_sigma;
   bc.closed = cfg_.closed_box;
 
-  const bool need_bc_bits = cfg_.body
-                                ? cfg_.body->any_diffuse()
+  const bool need_bc_bits = !scene_.empty()
+                                ? scene_.any_diffuse()
                                 : cfg_.wall != geom::WallModel::kSpecular;
-  const bool record_surface = surface_sampling_ && cfg_.body.has_value();
+  const bool record_surface = surface_sampling_ && !scene_.empty();
   // Interior fast path: a particle whose cell is masked and whose per-axis
   // speed stays under the mask's displacement bound provably reaches no
   // boundary, so it skips the double-precision round trip and
@@ -800,10 +857,81 @@ void Simulation<Real>::phase_sample() {
 
 template <class Real>
 SurfaceStats Simulation<Real>::surface() const {
-  if (!cfg_.body) return SurfaceStats{};
+  if (scene_.empty()) return SurfaceStats{};
   // u_inf_ is the actual stream speed (0 in closed-box runs, where the raw
   // p/tau/q fluxes stay meaningful but the coefficients are reported as 0).
-  return surf_.finalize(*cfg_.body, n_inf_, cfg_.sigma, u_inf_);
+  return surf_.finalize(scene_, n_inf_, cfg_.sigma, u_inf_);
+}
+
+template <class Real>
+std::vector<SurfaceStats> Simulation<Real>::surface_per_body() const {
+  if (scene_.empty()) return {};
+  return surf_.finalize_per_body(scene_, n_inf_, cfg_.sigma, u_inf_);
+}
+
+template <class Real>
+std::uint64_t Simulation<Real>::geometry_hash() const {
+  std::uint64_t h = 1469598103934665603ull;
+  h = geom::fnv1a_hash(h, static_cast<std::uint64_t>(grid_.nx));
+  h = geom::fnv1a_hash(h, static_cast<std::uint64_t>(grid_.ny));
+  h = geom::fnv1a_hash(h, static_cast<std::uint64_t>(grid_.nz));
+  h = geom::fnv1a_hash(h, scene_.geometry_hash());
+  h = geom::fnv1a_hash(h, wedge_ ? 1u : 0u);
+  if (wedge_) {
+    h = geom::fnv1a_hash(h, std::bit_cast<std::uint64_t>(cfg_.wedge_x0));
+    h = geom::fnv1a_hash(h, std::bit_cast<std::uint64_t>(cfg_.wedge_base));
+    h = geom::fnv1a_hash(h, std::bit_cast<std::uint64_t>(cfg_.wedge_angle_deg));
+  }
+  h = geom::fnv1a_hash(h, cfg_.closed_box ? 1u : 0u);
+  h = geom::fnv1a_hash(h, static_cast<std::uint64_t>(cfg_.upstream));
+  h = geom::fnv1a_hash(h, std::bit_cast<std::uint64_t>(cfg_.plunger_trigger));
+  h = geom::fnv1a_hash(h, cfg_.vibrational ? 1u : 0u);
+  return h;
+}
+
+template <class Real>
+typename Simulation<Real>::ResumeState Simulation<Real>::resume_state()
+    const {
+  ResumeState st;
+  st.step = step_;
+  st.plunger_x = plunger_.x;
+  st.res_count = res_count_;
+  st.res_tail = res_tail_;
+  st.counters = counters_;
+  st.field_samples = sampler_.samples();
+  st.field_sums = sampler_.accumulated();
+  st.surface_samples = surf_.samples();
+  st.surface_sums = surf_.accumulated();
+  return st;
+}
+
+template <class Real>
+void Simulation<Real>::restore(ParticleStore<Real> store,
+                               const ResumeState& state) {
+  if (store.has_z != cfg_.is3d() || store.has_vib != cfg_.vibrational)
+    throw std::invalid_argument(
+        "Simulation::restore: store layout does not match the configuration");
+  if (state.res_count > store.size() || state.res_tail > state.res_count)
+    throw std::invalid_argument(
+        "Simulation::restore: inconsistent reservoir bookkeeping");
+  // Validate every accumulator shape before mutating anything, so a throw
+  // leaves the simulation untouched instead of half-restored.
+  if (state.field_samples < 0 ||
+      state.field_sums.size() != sampler_.accumulated().size() ||
+      state.surface_samples < 0 ||
+      state.surface_sums.size() != surf_.accumulated().size())
+    throw std::invalid_argument(
+        "Simulation::restore: sampler accumulator shape mismatch");
+  sampler_.restore(state.field_samples, state.field_sums);
+  surf_.restore(state.surface_samples, state.surface_sums);
+  store_ = std::move(store);
+  step_ = state.step;
+  plunger_.x = state.plunger_x;
+  res_count_ = static_cast<std::size_t>(state.res_count);
+  res_tail_ = static_cast<std::size_t>(state.res_tail);
+  counters_ = state.counters;
+  key_count_lanes_ = 0;  // transient per-step state; regenerate
+  rebuild_interior_mask();
 }
 
 template <class Real>

@@ -32,6 +32,7 @@
 #include "geom/body.h"
 #include "geom/boundary.h"
 #include "geom/grid.h"
+#include "geom/scene.h"
 #include "geom/wedge.h"
 #include "physics/selection.h"
 #include "rng/rng.h"
@@ -76,11 +77,14 @@ class Simulation {
   void reset_sampling() { sampler_.reset(); }
   FieldStats field() const { return sampler_.finalize(); }
 
-  // Surface-flux sampling (requires a generalized body; no-op otherwise).
+  // Surface-flux sampling (requires a body scene; no-op otherwise).
   void set_surface_sampling(bool on) { surface_sampling_ = on; }
   void reset_surface_sampling() { surf_.reset(); }
-  // Time-averaged per-segment Cp/Cf/heat-flux and integrated Cd/Cl.
+  // Time-averaged per-segment Cp/Cf/heat-flux and integrated Cd/Cl, summed
+  // over the whole scene (for a one-body scene: exactly that body's stats).
   SurfaceStats surface() const;
+  // The same moments resolved per body (empty without a scene).
+  std::vector<SurfaceStats> surface_per_body() const;
 
   // --- Accessors ---
   const SimConfig& config() const { return cfg_; }
@@ -88,8 +92,12 @@ class Simulation {
   const geom::Wedge* wedge() const {
     return wedge_ ? &wedge_.value() : nullptr;
   }
+  // The assembled multi-body scene (empty when the run has no generalized
+  // body).  Bodies keep the order (cfg.body first, then cfg.bodies).
+  const geom::Scene& scene() const { return scene_; }
+  // First scene body (legacy single-body accessor).
   const geom::Body* body() const {
-    return cfg_.body ? &cfg_.body.value() : nullptr;
+    return scene_.empty() ? nullptr : &scene_.body(0);
   }
   const std::vector<double>& open_fraction() const { return open_frac_; }
   // Per-cell "no boundary reachable" mask driving the move fast path.
@@ -118,6 +126,32 @@ class Simulation {
   std::array<double, 3> total_momentum() const;
   // Same restricted to flow particles.
   double flow_energy() const;
+
+  // --- Checkpoint/restart support (core/checkpoint.*) ---
+  // Everything beyond the particle store a resumed run needs to reproduce
+  // the uninterrupted run bit for bit: the step counter (every counter-RNG
+  // stream is keyed on it), the plunger phase, reservoir bookkeeping,
+  // cumulative counters, and the field/surface sampler accumulators.
+  struct ResumeState {
+    std::int64_t step = 0;
+    double plunger_x = 0.0;
+    std::uint64_t res_count = 0;
+    std::uint64_t res_tail = 0;
+    SimCounters counters;
+    int field_samples = 0;
+    std::vector<double> field_sums;
+    int surface_samples = 0;
+    std::vector<double> surface_sums;
+  };
+  ResumeState resume_state() const;
+  // Restores store + state saved by resume_state().  Throws
+  // std::invalid_argument when the accumulator shapes do not match this
+  // simulation's grid/scene (geometry mismatch).  Rebuilds the interior
+  // mask, which must be re-derived whenever the boundary state is replaced.
+  void restore(ParticleStore<Real> store, const ResumeState& state);
+  // Provenance hash over everything that defines the run's geometry and
+  // particle layout; checkpoints refuse to restore across a mismatch.
+  std::uint64_t geometry_hash() const;
 
  private:
   using N = physics::Num<Real>;
@@ -160,10 +194,13 @@ class Simulation {
   std::uint64_t dirty_state_bits(std::size_t i) const;
   std::uint32_t reservoir_pair_cell(std::uint64_t i) const;
 
+  void rebuild_interior_mask();
+
   SimConfig cfg_;
   cmdp::ThreadPool* pool_;
   geom::Grid grid_;
   std::optional<geom::Wedge> wedge_;
+  geom::Scene scene_;  // all bodies (cfg.body first, then cfg.bodies)
   std::vector<double> open_frac_;
   std::vector<std::uint8_t> interior_mask_;
   physics::SelectionRule rule_;

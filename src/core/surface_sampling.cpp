@@ -1,19 +1,44 @@
 #include "core/surface_sampling.h"
 
+#include <algorithm>
 #include <stdexcept>
 
 namespace cmdsmc::core {
+
+namespace {
+
+// Coefficient pass shared by every finalize flavor: normalizes the raw
+// fluxes against the freestream and references the force integrals to
+// q_inf * chord.
+void finish(SurfaceStats& out, double chord, double rho_inf, double u_inf) {
+  const double e_ref = 0.5 * rho_inf * u_inf * u_inf * u_inf;
+  if (out.q_inf > 0.0) {
+    for (SurfaceSegmentStats& s : out.segments) {
+      s.cp = (s.p - out.p_inf) / out.q_inf;
+      s.cf = s.tau / out.q_inf;
+      s.ch = s.q / e_ref;
+    }
+    if (chord > 0.0) {
+      out.cd = out.fx / (out.q_inf * chord);
+      out.cl = out.fy / (out.q_inf * chord);
+    }
+  }
+}
+
+}  // namespace
 
 SurfaceSampler::SurfaceSampler(int nsegments, unsigned lanes, double span)
     : nseg_(nsegments), lanes_(lanes), span_(span > 0.0 ? span : 1.0) {
   if (nsegments < 0)
     throw std::invalid_argument("SurfaceSampler: negative segment count");
   if (lanes == 0) lanes_ = 1;
+  sums_.assign(static_cast<std::size_t>(nseg_) * kMoments, 0.0);
   lane_sums_.assign(static_cast<std::size_t>(lanes_) * nseg_ * kMoments, 0.0);
 }
 
 void SurfaceSampler::reset() {
   samples_ = 0;
+  std::fill(sums_.begin(), sums_.end(), 0.0);
   std::fill(lane_sums_.begin(), lane_sums_.end(), 0.0);
 }
 
@@ -36,39 +61,48 @@ void SurfaceSampler::record(unsigned lane, const geom::WallEventBuffer& ev) {
   }
 }
 
-SurfaceStats SurfaceSampler::finalize(const geom::Body& body, double rho_inf,
-                                      double sigma_inf, double u_inf) const {
-  SurfaceStats out;
-  out.samples = samples_;
-  if (body.segment_count() != nseg_)
-    throw std::invalid_argument(
-        "SurfaceSampler::finalize: body/sampler segment count mismatch");
-  out.p_inf = rho_inf * sigma_inf * sigma_inf;
-  out.q_inf = 0.5 * rho_inf * u_inf * u_inf;
-  out.segments.resize(static_cast<std::size_t>(nseg_));
-  if (nseg_ == 0) return out;
-
-  // Reduce the lanes into per-segment sums.
-  std::vector<double> sums(static_cast<std::size_t>(nseg_) * kMoments, 0.0);
-  for (unsigned t = 0; t < lanes_; ++t) {
-    const double* src =
-        lane_sums_.data() + static_cast<std::size_t>(t) * nseg_ * kMoments;
-    for (std::size_t i = 0; i < sums.size(); ++i) sums[i] += src[i];
+void SurfaceSampler::end_step() {
+  // Reduce the lanes into the persistent accumulator (lane order, so the
+  // result is deterministic for a fixed lane count) and clear them for the
+  // next step.  The persistent table is lane-count independent state — the
+  // part a checkpoint carries.
+  const std::size_t stride = static_cast<std::size_t>(nseg_) * kMoments;
+  if (stride != 0) {
+    for (unsigned t = 0; t < lanes_; ++t) {
+      const double* src = lane_sums_.data() + static_cast<std::size_t>(t) *
+                                                  stride;
+      for (std::size_t i = 0; i < stride; ++i) sums_[i] += src[i];
+    }
+    std::fill(lane_sums_.begin(), lane_sums_.end(), 0.0);
   }
+  ++samples_;
+}
 
+void SurfaceSampler::restore(int samples, const std::vector<double>& sums) {
+  if (samples < 0 || sums.size() != sums_.size())
+    throw std::invalid_argument(
+        "SurfaceSampler::restore: accumulator shape mismatch");
+  samples_ = samples;
+  sums_ = sums;
+  std::fill(lane_sums_.begin(), lane_sums_.end(), 0.0);
+}
+
+void SurfaceSampler::accumulate_body(const geom::Body& body, int body_index,
+                                     int seg_begin, SurfaceStats& out) const {
   const double steps = samples_ > 0 ? static_cast<double>(samples_) : 1.0;
-  const double e_ref = 0.5 * rho_inf * u_inf * u_inf * u_inf;
-  for (int i = 0; i < nseg_; ++i) {
+  for (int i = 0; i < body.segment_count(); ++i) {
     const geom::BodySegment& seg =
         body.segments()[static_cast<std::size_t>(i)];
-    SurfaceSegmentStats& s = out.segments[static_cast<std::size_t>(i)];
+    SurfaceSegmentStats s;
     s.x = seg.mid_x();
     s.y = seg.mid_y();
     s.nx = seg.nx;
     s.ny = seg.ny;
     s.length = seg.length;
     s.embedded = seg.embedded;
-    const double* m = sums.data() + static_cast<std::size_t>(i) * kMoments;
+    s.body = body_index;
+    const double* m =
+        sums_.data() + static_cast<std::size_t>(seg_begin + i) * kMoments;
     const double area = seg.length * span_;
     s.hits_per_step = m[0] / steps;
     // dp is the momentum handed to the wall; its component along the outward
@@ -81,21 +115,80 @@ SurfaceStats SurfaceSampler::finalize(const geom::Body& body, double rho_inf,
     s.p_reflected = m[5] / (steps * area);
     s.q_incident = m[6] / (steps * area);
     s.q_reflected = m[7] / (steps * area);
-    if (out.q_inf > 0.0) {
-      s.cp = (s.p - out.p_inf) / out.q_inf;
-      s.cf = s.tau / out.q_inf;
-      s.ch = s.q / e_ref;
-    }
     out.fx += m[1] / (steps * span_);
     out.fy += m[2] / (steps * span_);
     out.heat_total += m[3] / (steps * span_);
     out.q_incident_total += m[6] / (steps * span_);
     out.q_reflected_total += m[7] / (steps * span_);
+    out.segments.push_back(s);
   }
-  const double chord = body.chord();
-  if (out.q_inf > 0.0 && chord > 0.0) {
-    out.cd = out.fx / (out.q_inf * chord);
-    out.cl = out.fy / (out.q_inf * chord);
+}
+
+SurfaceStats SurfaceSampler::finalize(const geom::Body& body, double rho_inf,
+                                      double sigma_inf, double u_inf) const {
+  if (body.segment_count() != nseg_)
+    throw std::invalid_argument(
+        "SurfaceSampler::finalize: body/sampler segment count mismatch");
+  SurfaceStats out;
+  out.samples = samples_;
+  out.p_inf = rho_inf * sigma_inf * sigma_inf;
+  out.q_inf = 0.5 * rho_inf * u_inf * u_inf;
+  out.body_name = body.name();
+  if (nseg_ == 0) return out;
+  out.segments.reserve(static_cast<std::size_t>(nseg_));
+  accumulate_body(body, 0, 0, out);
+  finish(out, body.chord(), rho_inf, u_inf);
+  return out;
+}
+
+SurfaceStats SurfaceSampler::finalize(const geom::Scene& scene,
+                                      double rho_inf, double sigma_inf,
+                                      double u_inf) const {
+  if (scene.total_segments() != nseg_)
+    throw std::invalid_argument(
+        "SurfaceSampler::finalize: scene/sampler segment count mismatch");
+  SurfaceStats out;
+  out.samples = samples_;
+  out.p_inf = rho_inf * sigma_inf * sigma_inf;
+  out.q_inf = 0.5 * rho_inf * u_inf * u_inf;
+  if (scene.body_count() == 1) {
+    out.body_name = scene.body(0).name();
+  } else {
+    out.body_index = -1;
+    out.body_name = "scene";
+  }
+  if (nseg_ == 0) return out;
+  out.segments.reserve(static_cast<std::size_t>(nseg_));
+  double chord_total = 0.0;
+  for (int b = 0; b < scene.body_count(); ++b) {
+    accumulate_body(scene.body(b), b, scene.segment_base(b), out);
+    chord_total += scene.body(b).chord();
+  }
+  finish(out, chord_total, rho_inf, u_inf);
+  return out;
+}
+
+std::vector<SurfaceStats> SurfaceSampler::finalize_per_body(
+    const geom::Scene& scene, double rho_inf, double sigma_inf,
+    double u_inf) const {
+  if (scene.total_segments() != nseg_)
+    throw std::invalid_argument(
+        "SurfaceSampler::finalize_per_body: scene/sampler segment count "
+        "mismatch");
+  std::vector<SurfaceStats> out;
+  out.reserve(static_cast<std::size_t>(scene.body_count()));
+  for (int b = 0; b < scene.body_count(); ++b) {
+    const geom::Body& body = scene.body(b);
+    SurfaceStats s;
+    s.samples = samples_;
+    s.p_inf = rho_inf * sigma_inf * sigma_inf;
+    s.q_inf = 0.5 * rho_inf * u_inf * u_inf;
+    s.body_index = b;
+    s.body_name = body.name();
+    s.segments.reserve(static_cast<std::size_t>(body.segment_count()));
+    accumulate_body(body, b, scene.segment_base(b), s);
+    finish(s, body.chord(), rho_inf, u_inf);
+    out.push_back(std::move(s));
   }
   return out;
 }

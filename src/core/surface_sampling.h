@@ -1,23 +1,26 @@
-// Per-segment surface-flux accumulation.
+// Per-(body, segment) surface-flux accumulation.
 //
-// Every reflection off a geom::Body face hands the wall a momentum and
-// energy increment (recorded by enforce_boundaries into a WallEventBuffer).
-// This sampler tallies those increments per segment over many time steps and
-// finalizes them into time-averaged surface distributions — pressure, shear
-// and heat flux, normalized as Cp / Cf / Ch — plus the integrated drag and
-// lift coefficients.  The paper never reports surface quantities (its wedge
-// is specular and inviscid); this is the instrumentation a general body
-// subsystem exists to feed.
+// Every reflection off a geom::Scene facet hands the wall a momentum and
+// energy increment (recorded by enforce_boundaries into a WallEventBuffer
+// under the scene-wide flat segment index).  This sampler tallies those
+// increments per segment over many time steps and finalizes them into
+// time-averaged surface distributions — pressure, shear and heat flux,
+// normalized as Cp / Cf / Ch — plus integrated drag and lift coefficients,
+// resolved per body and as scene totals.  The paper never reports surface
+// quantities (its wedge is specular and inviscid); this is the
+// instrumentation a general body subsystem exists to feed.
 //
 // Units: particle mass 1, so rho_inf = n_inf (particles per cell volume),
 // freestream static pressure p_inf = n_inf * sigma_inf^2, dynamic pressure
 // q_inf = 0.5 * n_inf * u_inf^2.  Fluxes are per unit area per time step.
 #pragma once
 
+#include <string>
 #include <vector>
 
 #include "geom/body.h"
 #include "geom/boundary.h"
+#include "geom/scene.h"
 
 namespace cmdsmc::core {
 
@@ -27,6 +30,8 @@ struct SurfaceSegmentStats {
   double nx = 0.0, ny = 0.0;
   double length = 0.0;
   bool embedded = false;
+  // Owning body (index within the scene) of this segment.
+  int body = 0;
   // Raw time-averaged fluxes (sim units, per unit area per step).
   double hits_per_step = 0.0;
   double p = 0.0;    // normal momentum flux into the wall (pressure)
@@ -50,9 +55,15 @@ struct SurfaceStats {
   int samples = 0;
   double p_inf = 0.0;
   double q_inf = 0.0;
+  // Which body these stats describe: index within the scene and the body's
+  // name.  Scene totals use body_index -1 and name "scene" when more than
+  // one body contributed (a one-body total keeps that body's identity).
+  int body_index = 0;
+  std::string body_name;
   std::vector<SurfaceSegmentStats> segments;
   // Integrated force on the body per unit span per step (sim units) and the
-  // corresponding coefficients referenced to q_inf * chord.
+  // corresponding coefficients referenced to q_inf * chord (for totals the
+  // reference length is the sum of the bodies' chords).
   double fx = 0.0, fy = 0.0;
   double cd = 0.0, cl = 0.0;
   double heat_total = 0.0;  // integrated energy flux per unit span per step
@@ -63,8 +74,10 @@ struct SurfaceStats {
 };
 
 // Lane-parallel accumulator: each worker lane owns a private slice, so
-// recording from the move phase needs no synchronization; lanes are reduced
-// at finalize time.
+// recording from the move phase needs no synchronization.  end_step()
+// reduces the lanes into one persistent per-segment moment table, which
+// keeps the accumulated state independent of the lane count — that is what
+// lets checkpoints carry it across sessions exactly.
 class SurfaceSampler {
  public:
   SurfaceSampler() = default;
@@ -73,28 +86,58 @@ class SurfaceSampler {
 
   bool active() const { return nseg_ > 0; }
   int samples() const { return samples_; }
+  int segment_count() const { return nseg_; }
 
   void reset();
 
-  // Called from worker lane `lane` for one particle's wall events.
+  // Called from worker lane `lane` for one particle's wall events
+  // (WallEvent::segment is the scene-wide flat segment index).
   void record(unsigned lane, const geom::WallEventBuffer& events);
 
-  // Marks the end of one sampled time step.
-  void end_step() { ++samples_; }
+  // Marks the end of one sampled time step: reduces the lane slices into
+  // the persistent accumulator.
+  void end_step();
 
-  // Reduces the lanes and normalizes against the body geometry and the
-  // freestream (rho_inf = n_inf for unit-mass particles).
+  // Reduces and normalizes against the body geometry and the freestream
+  // (rho_inf = n_inf for unit-mass particles).  The legacy single-body
+  // overload requires body.segment_count() == segment_count().
   SurfaceStats finalize(const geom::Body& body, double rho_inf,
                         double sigma_inf, double u_inf) const;
+  // Scene totals: all segments flat, forces summed over bodies, Cd/Cl
+  // referenced to the summed chord.  For a one-body scene this is exactly
+  // the single-body overload's result.
+  SurfaceStats finalize(const geom::Scene& scene, double rho_inf,
+                        double sigma_inf, double u_inf) const;
+  // Per-body resolution: element b covers scene.body(b)'s segments only,
+  // with Cd/Cl referenced to that body's own chord.
+  std::vector<SurfaceStats> finalize_per_body(const geom::Scene& scene,
+                                              double rho_inf,
+                                              double sigma_inf,
+                                              double u_inf) const;
+
+  // --- Checkpoint access (core/checkpoint.*) ---
+  // The lane-reduced accumulator (nsegments * kMoments doubles).
+  const std::vector<double>& accumulated() const { return sums_; }
+  // Restores a saved accumulator; throws std::invalid_argument on a shape
+  // mismatch (different segment count => different geometry).
+  void restore(int samples, const std::vector<double>& sums);
 
  private:
   // count, dpx, dpy, de, p_in, p_out, e_in, e_out
   static constexpr int kMoments = 8;
+
+  // Accumulates segments [seg_begin, seg_begin + body.segment_count()) of
+  // the flat table into `out` (appending to out.segments and the force
+  // integrals) without computing coefficients.
+  void accumulate_body(const geom::Body& body, int body_index, int seg_begin,
+                       SurfaceStats& out) const;
+
   int nseg_ = 0;
   unsigned lanes_ = 0;
   double span_ = 1.0;
   int samples_ = 0;
-  std::vector<double> lane_sums_;  // lanes * nseg * kMoments
+  std::vector<double> sums_;       // nseg * kMoments, lane-reduced
+  std::vector<double> lane_sums_;  // lanes * nseg * kMoments (per-step)
 };
 
 }  // namespace cmdsmc::core

@@ -159,16 +159,34 @@ bool Body::any_diffuse() const {
 }
 
 bool Body::inside(double x, double y) const {
-  if (x <= xmin_ || x >= xmax_ || y <= ymin_ || y >= ymax_) return false;
+  // Boundary-inclusive bbox: a vertex lying exactly on the bounding box
+  // (a cylinder's extreme points) must fall through to the facet tests.
+  if (x < xmin_ || x > xmax_ || y < ymin_ || y > ymax_) return false;
   if (convex_) {
-    // Strictly inside every face plane (matches the legacy Wedge::inside
-    // bit for bit on the wedge triangle).
+    // Outside iff strictly beyond some face.  The un-normalized cross form
+    // (x - x0, y - y0) x (x1 - x0, y1 - y0) evaluates to exactly 0.0 at
+    // *both* endpoints of every facet (fl(a*b) - fl(b*a) == 0), so a point
+    // on a shared vertex is claimed — with the normalized-normal form the
+    // end-vertex test rounds to +-1 ulp and adjacent faces can each disown
+    // the vertex, letting a surface-riding particle tunnel through.
     for (const BodySegment& s : segments_) {
-      if ((x - s.x0) * s.nx + (y - s.y0) * s.ny >= 0.0) return false;
+      const double cross =
+          (x - s.x0) * (s.y1 - s.y0) - (y - s.y0) * (s.x1 - s.x0);
+      if (cross > 0.0) return false;
     }
     return true;
   }
-  // Even-odd crossing test for general simple polygons.
+  // Exact on-boundary check first (shared vertices / edges are claimed),
+  // then the even-odd crossing test for general simple polygons.
+  for (const BodySegment& s : segments_) {
+    const double dx = s.x1 - s.x0;
+    const double dy = s.y1 - s.y0;
+    const double rx = x - s.x0;
+    const double ry = y - s.y0;
+    if (rx * dy - ry * dx != 0.0) continue;  // off this edge's line
+    const double t = rx * dx + ry * dy;
+    if (t >= 0.0 && t <= dx * dx + dy * dy) return true;
+  }
   bool in = false;
   const std::size_t n = vertices_.size();
   for (std::size_t i = 0, j = n - 1; i < n; j = i++) {
@@ -184,8 +202,16 @@ bool Body::inside(double x, double y) const {
 
 std::optional<BodyHit> Body::nearest_face(double x, double y) const {
   if (!inside(x, y)) return std::nullopt;
+  const BodyHit hit = nearest_face_inside(x, y);
+  if (hit.segment < 0) return std::nullopt;  // all faces embedded
+  return hit;
+}
+
+BodyHit Body::nearest_face_inside(double x, double y) const {
   // Pick the candidate face whose *segment* (not infinite plane) is closest;
   // report the plane depth so the caller can mirror about the face plane.
+  // Strict `<` keeps the lowest segment index on exact ties (a shared
+  // vertex), so the claim is deterministic.
   int best = -1;
   double best_d2 = std::numeric_limits<double>::infinity();
   for (int i = 0; i < segment_count(); ++i) {
@@ -204,7 +230,7 @@ std::optional<BodyHit> Body::nearest_face(double x, double y) const {
       best = i;
     }
   }
-  if (best < 0) return std::nullopt;  // all faces embedded (degenerate body)
+  if (best < 0) return BodyHit{};  // all faces embedded (degenerate body)
   const BodySegment& s = segments_[static_cast<std::size_t>(best)];
   double depth = (x - s.x0) * s.nx + (y - s.y0) * s.ny;
   // Near a vertex the plane distance can differ from the segment distance;

@@ -107,11 +107,21 @@ class Body {
   bool any_diffuse() const;
 
   // --- Queries ---
-  // Strictly inside the solid polygon.
+  // Inside the solid polygon, boundary-inclusive: a point exactly on a
+  // facet, edge or shared vertex is claimed by the body (it is at the
+  // surface and must be reflected deterministically, never left to tunnel
+  // through).  The facet tests use the exact cross-product form, so vertex
+  // and endpoint coordinates evaluate to exactly zero and the tie-break is
+  // deterministic — no face can disown a shared vertex by one ulp.
   bool inside(double x, double y) const;
   // For a point inside the body, the nearest non-embedded face (the face
-  // the particle most plausibly crossed).  nullopt outside.
+  // the particle most plausibly crossed).  nullopt outside.  Equidistant
+  // faces (a shared vertex) resolve to the lowest segment index.
   std::optional<BodyHit> nearest_face(double x, double y) const;
+  // Same, for a point already known to be inside (skips the containment
+  // recheck; geom::Scene calls this after its own accelerated containment
+  // query).
+  BodyHit nearest_face_inside(double x, double y) const;
 
   // Fraction of the unit cell (ix, iy) that lies *outside* the body
   // (1 = fully open, 0 = fully solid).

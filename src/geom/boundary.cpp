@@ -81,13 +81,14 @@ void reflect_off_face(ParticleState& p, double nx, double ny, double depth,
   }
 }
 
-// Reflects a particle found inside the generalized body off its nearest
-// face, using that segment's wall model, and records the momentum/energy
-// handed to the wall.
-void body_reflect(ParticleState& p, const Body& body, const BodyHit& hit,
-                  std::uint64_t rand_bits, WallEventBuffer* events) {
+// Reflects a particle found inside a scene body off its nearest face, using
+// that segment's wall model, and records the momentum/energy handed to the
+// wall under the scene-wide flat segment index.
+void scene_reflect(ParticleState& p, const Scene& scene, const SceneHit& sh,
+                   std::uint64_t rand_bits, WallEventBuffer* events) {
+  const BodyHit& hit = sh.hit;
   const BodySegment& seg =
-      body.segments()[static_cast<std::size_t>(hit.segment)];
+      scene.body(sh.body).segments()[static_cast<std::size_t>(hit.segment)];
   const double pre_ux = p.ux;
   const double pre_uy = p.uy;
   const double pre_e = particle_energy(p);
@@ -99,7 +100,7 @@ void body_reflect(ParticleState& p, const Body& body, const BodyHit& hit,
     // reflected points away; both recorded positive in their own sense.
     const double vn_in = -(pre_ux * hit.nx + pre_uy * hit.ny);
     const double vn_out = p.ux * hit.nx + p.uy * hit.ny;
-    events->add(hit.segment, pre_ux - p.ux, pre_uy - p.uy, pre_e - post_e,
+    events->add(sh.flat_segment, pre_ux - p.ux, pre_uy - p.uy, pre_e - post_e,
                 vn_in, vn_out, pre_e, post_e);
   }
 }
@@ -156,11 +157,19 @@ bool enforce_boundaries(ParticleState& p, const BoundaryConfig& bc,
       }
     }
 
-    // The body: generalized Body takes precedence over the legacy wedge.
-    if (bc.body != nullptr) {
-      if (auto hit = bc.body->nearest_face(p.x, p.y)) {
-        body_reflect(p, *bc.body, *hit,
-                     rng::mix64(rand_bits + 0x9e37u * (pass + 1)), events);
+    // The bodies: the scene takes precedence over the legacy wedge.
+    if (bc.scene != nullptr && !bc.scene->empty()) {
+      if (auto hit = bc.scene->nearest_face(p.x, p.y)) {
+        scene_reflect(p, *bc.scene, *hit,
+                      rng::mix64(rand_bits + 0x9e37u * (pass + 1)), events);
+        // A zero-depth contact (exactly on a facet — the boundary-inclusive
+        // claim) mirrors about the particle's own position, which would be
+        // re-claimed on every pass: one physical contact must record one
+        // wall event, so nudge the particle just off the surface.
+        if (hit->hit.depth == 0.0) {
+          p.x += 1e-9 * hit->hit.nx;
+          p.y += 1e-9 * hit->hit.ny;
+        }
         dirty = true;
       }
     } else if (bc.wedge != nullptr) {
@@ -185,15 +194,16 @@ bool enforce_boundaries(ParticleState& p, const BoundaryConfig& bc,
     if (p.z < 0.0) p.z = 0.0;
     if (p.z >= bc.z_max) p.z = bc.z_max - 1e-9;
   }
-  if (bc.body != nullptr) {
+  if (bc.scene != nullptr && !bc.scene->empty()) {
     // Push the particle just outside the violated face.  Near a concave
-    // vertex of a non-convex body one push can land inside the solid owned
-    // by the adjacent face, so recheck and push again a few times.
+    // vertex (or in the gap between two close bodies) one push can land
+    // inside the solid owned by another face, so recheck and push again a
+    // few times.
     for (int k = 0; k < 4; ++k) {
-      const auto hit = bc.body->nearest_face(p.x, p.y);
+      const auto hit = bc.scene->nearest_face(p.x, p.y);
       if (!hit) break;
-      p.x += (-hit->depth + 1e-9) * hit->nx;
-      p.y += (-hit->depth + 1e-9) * hit->ny;
+      p.x += (-hit->hit.depth + 1e-9) * hit->hit.nx;
+      p.y += (-hit->hit.depth + 1e-9) * hit->hit.ny;
       if (p.x < 0.0) p.x = 0.0;
       if (p.x >= bc.x_max) p.x = bc.x_max - 1e-9;
       if (p.y < 0.0) p.y = 0.0;
@@ -206,33 +216,6 @@ bool enforce_boundaries(ParticleState& p, const BoundaryConfig& bc,
   }
   return true;
 }
-
-namespace {
-
-// Conservative segment-vs-closed-box overlap (Liang–Barsky clip).  Ties and
-// touching contacts count as overlap, so false negatives are impossible.
-bool segment_touches_box(double sx0, double sy0, double sx1, double sy1,
-                         double bx0, double by0, double bx1, double by1) {
-  double t0 = 0.0, t1 = 1.0;
-  const double dx = sx1 - sx0;
-  const double dy = sy1 - sy0;
-  auto clip = [&](double p, double q) {
-    if (p == 0.0) return q >= 0.0;
-    const double r = q / p;
-    if (p < 0.0) {
-      if (r > t1) return false;
-      if (r > t0) t0 = r;
-    } else {
-      if (r < t0) return false;
-      if (r < t1) t1 = r;
-    }
-    return true;
-  };
-  return clip(-dx, sx0 - bx0) && clip(dx, bx1 - sx0) &&
-         clip(-dy, sy0 - by0) && clip(dy, by1 - sy0) && t0 <= t1;
-}
-
-}  // namespace
 
 std::vector<std::uint8_t> interior_cell_mask(const Grid& grid,
                                              const BoundaryConfig& bc,
@@ -249,13 +232,17 @@ std::vector<std::uint8_t> interior_cell_mask(const Grid& grid,
   // would wrongly exclude the whole high-density region above a wedge's
   // hypotenuse).  A box avoiding every face either misses the solid entirely
   // or lies fully inside it; the center-point inside() test separates those.
+  // The outline is the *union* of every scene body, so adding a second body
+  // can never leave a stale "interior" cell beside its surface.
   struct Seg {
     double x0, y0, x1, y1;
   };
   std::vector<Seg> segs;
-  if (bc.body != nullptr) {
-    for (const BodySegment& s : bc.body->segments())
-      segs.push_back({s.x0, s.y0, s.x1, s.y1});
+  const bool has_scene = bc.scene != nullptr && !bc.scene->empty();
+  if (has_scene) {
+    for (const Body& b : bc.scene->bodies())
+      for (const BodySegment& s : b.segments())
+        segs.push_back({s.x0, s.y0, s.x1, s.y1});
   } else if (bc.wedge != nullptr) {
     const double x0 = bc.wedge->x0();
     const double ax = bc.wedge->apex_x();
@@ -271,7 +258,7 @@ std::vector<std::uint8_t> interior_cell_mask(const Grid& grid,
         return true;
     const double cx = 0.5 * (bx0 + bx1);
     const double cy = 0.5 * (by0 + by1);
-    if (bc.body != nullptr) return bc.body->inside(cx, cy);
+    if (has_scene) return bc.scene->inside(cx, cy);
     if (bc.wedge != nullptr) return bc.wedge->inside(cx, cy);
     return false;
   };

@@ -18,6 +18,7 @@
 
 #include "geom/body.h"
 #include "geom/grid.h"
+#include "geom/scene.h"
 #include "geom/wedge.h"
 
 namespace cmdsmc::geom {
@@ -64,7 +65,9 @@ struct ParticleState {
 // The incident/reflected split (normal momentum and total energy of the
 // arriving vs departing particle) is kept separately so accommodation
 // studies can compare what the stream delivers against what the surface
-// re-emits; dp/de remain the authoritative net transfer.
+// re-emits; dp/de remain the authoritative net transfer.  `segment` is the
+// *scene-wide flat* segment index (Scene::segment_base(body) + local), so
+// one contiguous accumulator covers every body in the scene.
 struct WallEvent {
   int segment = -1;
   double dpx = 0.0;
@@ -95,9 +98,10 @@ struct BoundaryConfig {
   double x_max = 0.0;  // downstream sink plane
   double y_max = 0.0;  // ceiling
   double z_max = 0.0;  // 3D side walls; <= 0 disables z handling
-  // Body geometry: the generalized Body takes precedence when set; the
-  // legacy Wedge pointer remains for the wedge-specific code path.
-  const Body* body = nullptr;
+  // Body geometry: a multi-body Scene (takes precedence when non-empty; a
+  // legacy single body is a one-body scene); the Wedge pointer remains for
+  // the wedge-specific code path.
+  const Scene* scene = nullptr;
   const Wedge* wedge = nullptr;
   double plunger_x = 0.0;      // current plunger face (0 = inactive wall at 0)
   double plunger_speed = 0.0;  // freestream speed (for moving-frame reflect)
@@ -120,8 +124,8 @@ bool enforce_boundaries(ParticleState& p, const BoundaryConfig& bc,
                         WallEventBuffer* events = nullptr);
 
 // Per-cell interior mask for the move-phase fast path.  mask[c] != 0 means
-// no boundary — domain face, upstream wall anywhere in its sweep range, body
-// or wedge bounding box — is reachable from anywhere inside cell c by a
+// no boundary — domain face, upstream wall anywhere in its sweep range, any
+// scene body or the wedge — is reachable from anywhere inside cell c by a
 // displacement of at most `max_disp` cells per axis.  A particle in a masked
 // cell moving slower than that bound provably needs no boundary enforcement
 // this step (enforce_boundaries would return true without touching it).

@@ -32,4 +32,40 @@ void write_surface_csv_file(const std::string& path,
   write_surface_csv(os, s, include_embedded);
 }
 
+void write_scene_surface_csv(std::ostream& os,
+                             const std::vector<core::SurfaceStats>& bodies,
+                             bool include_embedded) {
+  for (std::size_t b = 0; b < bodies.size(); ++b) {
+    const core::SurfaceStats& s = bodies[b];
+    os << "# body" << b << " name=" << s.body_name << " samples=" << s.samples
+       << " cd=" << s.cd << " cl=" << s.cl << " heat=" << s.heat_total
+       << " q_in=" << s.q_incident_total << " q_out=" << s.q_reflected_total
+       << "\n";
+  }
+  os << "body,name,segment,x,y,nx,ny,length,hits_per_step,p,tau,q,cp,cf,ch,"
+        "p_in,p_out,q_in,q_out\n";
+  for (std::size_t b = 0; b < bodies.size(); ++b) {
+    const core::SurfaceStats& body = bodies[b];
+    for (std::size_t i = 0; i < body.segments.size(); ++i) {
+      const core::SurfaceSegmentStats& seg = body.segments[i];
+      if (seg.embedded && !include_embedded) continue;
+      os << b << "," << body.body_name << "," << i << "," << seg.x << ","
+         << seg.y << "," << seg.nx << "," << seg.ny << "," << seg.length
+         << "," << seg.hits_per_step << "," << seg.p << "," << seg.tau << ","
+         << seg.q << "," << seg.cp << "," << seg.cf << "," << seg.ch << ","
+         << seg.p_incident << "," << seg.p_reflected << "," << seg.q_incident
+         << "," << seg.q_reflected << "\n";
+    }
+  }
+}
+
+void write_scene_surface_csv_file(const std::string& path,
+                                  const std::vector<core::SurfaceStats>& bodies,
+                                  bool include_embedded) {
+  std::ofstream os(path);
+  if (!os)
+    throw std::runtime_error("write_scene_surface_csv: cannot open " + path);
+  write_scene_surface_csv(os, bodies, include_embedded);
+}
+
 }  // namespace cmdsmc::io

@@ -23,4 +23,15 @@ void write_surface_csv_file(const std::string& path,
                             const core::SurfaceStats& s,
                             bool include_embedded = false);
 
+// Multi-body layout: one per-body `# bodyN name=... cd=... cl=...` comment
+// line each, then a single table whose rows lead with `body,name,segment`
+// (segment indices are body-local) followed by the legacy column set.
+void write_scene_surface_csv(std::ostream& os,
+                             const std::vector<core::SurfaceStats>& bodies,
+                             bool include_embedded = false);
+
+void write_scene_surface_csv_file(
+    const std::string& path, const std::vector<core::SurfaceStats>& bodies,
+    bool include_embedded = false);
+
 }  // namespace cmdsmc::io

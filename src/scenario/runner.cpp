@@ -51,12 +51,15 @@ void json_escape(std::ostream& os, const std::string& s) {
 
 }  // namespace
 
-double RunResult::cp_max() const {
-  if (!surface) return 0.0;
+double RunResult::cp_max_of(const core::SurfaceStats& s) {
   double best = 0.0;
-  for (const auto& seg : surface->segments)
+  for (const auto& seg : s.segments)
     if (!seg.embedded && seg.cp > best) best = seg.cp;
   return best;
+}
+
+double RunResult::cp_max() const {
+  return surface ? cp_max_of(*surface) : 0.0;
 }
 
 // --- Sinks -------------------------------------------------------------------
@@ -72,7 +75,12 @@ void FieldCsvSink::write(const RunResult& r) {
 
 void SurfaceCsvSink::write(const RunResult& r) {
   if (!r.surface) return;
-  io::write_surface_csv_file(prefix_ + "_surface.csv", *r.surface);
+  // Multi-body scenes get the per-body layout (leading body/name columns);
+  // single-body output keeps the legacy column set.
+  if (r.surfaces.size() > 1)
+    io::write_scene_surface_csv_file(prefix_ + "_surface.csv", r.surfaces);
+  else
+    io::write_surface_csv_file(prefix_ + "_surface.csv", *r.surface);
 }
 
 void VtkSink::write(const RunResult& r) {
@@ -169,6 +177,16 @@ void ConsoleReportSink::write(const RunResult& r) {
                   r.surface->heat_total, r.surface->q_incident_total,
                   r.surface->q_reflected_total);
     buf << line;
+    if (r.surfaces.size() > 1) {
+      for (const core::SurfaceStats& b : r.surfaces) {
+        std::snprintf(line, sizeof line,
+                      "  body%d %-8s: Cd %.3f  Cl %.3f  Cp_max %.3f  "
+                      "heat %.4f\n",
+                      b.body_index, b.body_name.c_str(), b.cd, b.cl,
+                      RunResult::cp_max_of(b), b.heat_total);
+        buf << line;
+      }
+    }
   }
 
   if (r.total_seconds > 0.0) {
@@ -223,7 +241,23 @@ std::string JsonSummarySink::to_json(const RunResult& r) {
        << ", \"heat_total\": " << r.surface->heat_total
        << ", \"q_incident\": " << r.surface->q_incident_total
        << ", \"q_reflected\": " << r.surface->q_reflected_total
-       << ", \"segments\": " << r.surface->segments.size() << "}";
+       << ", \"segments\": " << r.surface->segments.size();
+    if (!r.surfaces.empty()) {
+      // Per-body coefficients, keyed "body0", "body1", ... in scene order.
+      os << ",\n    \"bodies\": [";
+      for (std::size_t b = 0; b < r.surfaces.size(); ++b) {
+        const core::SurfaceStats& s = r.surfaces[b];
+        os << (b == 0 ? "" : ", ") << "\n      {\"id\": \"body" << b
+           << "\", \"name\": \"";
+        json_escape(os, s.body_name);
+        os << "\", \"cd\": " << s.cd << ", \"cl\": " << s.cl
+           << ", \"cp_max\": " << RunResult::cp_max_of(s)
+           << ", \"heat_total\": " << s.heat_total
+           << ", \"segments\": " << s.segments.size() << "}";
+      }
+      os << "\n    ]";
+    }
+    os << "}";
   }
   os << "\n}\n";
   return os.str();
@@ -306,12 +340,15 @@ RunResult Runner::run_impl(cmdp::ThreadPool* pool) {
   }
 
   sim.set_sampling(true);
-  if (cfg.body) sim.set_surface_sampling(true);
+  if (cfg.has_body_scene()) sim.set_surface_sampling(true);
   sim.run(spec_.schedule.avg_steps);
   result.avg_steps = spec_.schedule.avg_steps;
 
   result.field = sim.field();
-  if (cfg.body) result.surface = sim.surface();
+  if (cfg.has_body_scene()) {
+    result.surface = sim.surface();
+    result.surfaces = sim.surface_per_body();
+  }
   result.counters = sim.counters();
   result.flow_count = sim.flow_count();
   result.reservoir_count = sim.reservoir_count();

@@ -26,8 +26,12 @@ struct RunResult {
   Precision precision = Precision::kDouble;
 
   core::FieldStats field;
-  // Present when the run had a generalized body (surface sampling on).
+  // Present when the run had a body scene (surface sampling on): the scene
+  // totals (for a one-body scene: exactly that body's stats).
   std::optional<core::SurfaceStats> surface;
+  // Per-body resolution of the same moments (size == scene body count;
+  // empty without a scene).
+  std::vector<core::SurfaceStats> surfaces;
 
   core::SimCounters counters;
   std::size_t flow_count = 0;
@@ -45,6 +49,8 @@ struct RunResult {
 
   // Peak pressure coefficient over non-embedded segments (0 if no surface).
   double cp_max() const;
+  // Same over one body's stats (shared by the per-body JSON/report output).
+  static double cp_max_of(const core::SurfaceStats& s);
 };
 
 // A result consumer.  Sinks must not mutate the result.

@@ -73,10 +73,109 @@ auto set_bool(bool core::SimConfig::* field) {
     s.config.*field = cli::parse_bool(k, v);
   };
 }
+// --- Per-body override table -------------------------------------------------
+// Body factory parameters are addressed as body.<key> (body 0) or
+// body<N>.<key> (scene body N, the list growing on first mention), so the
+// same table serves every body of a multi-body scene.
+
+struct BodyOverrideEntry {
+  const char* key;  // suffix after "bodyN."
+  const char* help;
+  std::function<void(BodySpec&, const std::string&, const std::string&)> apply;
+};
+
 auto set_body_double(double BodySpec::* field) {
-  return [field](ScenarioSpec& s, const std::string& k, const std::string& v) {
-    s.body.*field = cli::parse_double(k, v);
+  return [field](BodySpec& b, const std::string& k, const std::string& v) {
+    b.*field = cli::parse_double(k, v);
   };
+}
+
+const std::vector<BodyOverrideEntry>& body_override_table() {
+  static const std::vector<BodyOverrideEntry> table = {
+      {"kind", "body: none|wedge|flat_plate|cylinder|biconic",
+       [](BodySpec& b, const std::string& k, const std::string& v) {
+         b.kind = parse_body_kind(k, v);
+       }},
+      {"x0", "body anchor x (leading edge / centre / nose)",
+       set_body_double(&BodySpec::x0)},
+      {"y0", "body anchor y", set_body_double(&BodySpec::y0)},
+      {"chord", "wedge base / plate chord", set_body_double(&BodySpec::chord)},
+      {"thickness", "plate thickness", set_body_double(&BodySpec::thickness)},
+      {"angle_deg", "wedge angle (degrees)",
+       set_body_double(&BodySpec::angle_deg)},
+      {"incidence_deg", "plate incidence (degrees)",
+       set_body_double(&BodySpec::incidence_deg)},
+      {"radius", "cylinder radius", set_body_double(&BodySpec::radius)},
+      {"facets", "cylinder facet count",
+       [](BodySpec& b, const std::string& k, const std::string& v) {
+         b.facets = cli::parse_int(k, v);
+       }},
+      {"len1", "biconic fore-cone length", set_body_double(&BodySpec::len1)},
+      {"angle1_deg", "biconic fore-cone half-angle (degrees)",
+       set_body_double(&BodySpec::angle1_deg)},
+      {"len2", "biconic aft-cone length", set_body_double(&BodySpec::len2)},
+      {"angle2_deg", "biconic aft-cone half-angle (degrees)",
+       set_body_double(&BodySpec::angle2_deg)},
+      {"wall", "body wall model: specular|diffuse_isothermal|"
+               "diffuse_adiabatic",
+       [](BodySpec& b, const std::string& k, const std::string& v) {
+         b.wall = parse_wall(k, v);
+       }},
+      {"twall", "body wall temperature as T_wall / T_inf",
+       [](BodySpec& b, const std::string& k, const std::string& v) {
+         b.wall_temperature_ratio = cli::parse_double(k, v);
+       }},
+  };
+  return table;
+}
+
+// Scene bodies addressable through overrides; a backstop against typo'd
+// indices allocating absurd lists, not a geometric limit.
+constexpr std::size_t kMaxOverrideBodies = 16;
+
+// Parses "body.<suffix>" / "body<N>.<suffix>".  Returns false when the key
+// is not body-addressed at all; throws on a valid body prefix with an
+// unknown suffix or out-of-range index.
+bool apply_body_override(ScenarioSpec& spec, const std::string& key,
+                         const std::string& value) {
+  if (key.rfind("body", 0) != 0) return false;
+  std::size_t i = 4;
+  std::size_t index = 0;
+  bool has_digits = false;
+  while (i < key.size() && key[i] >= '0' && key[i] <= '9') {
+    index = index * 10 + static_cast<std::size_t>(key[i] - '0');
+    has_digits = true;
+    ++i;
+    if (index > 1000) break;  // overflow guard; rejected below anyway
+  }
+  if (i >= key.size() || key[i] != '.') return false;
+  if (has_digits && index >= kMaxOverrideBodies)
+    throw cli::ArgError(key + ": body index " + std::to_string(index) +
+                        " out of range (max " +
+                        std::to_string(kMaxOverrideBodies - 1) + ")");
+  const std::string suffix = key.substr(i + 1);
+  for (const BodyOverrideEntry& e : body_override_table()) {
+    if (suffix == e.key) {
+      while (index >= spec.bodies.size()) {
+        // Bodies appended after a global `twall=` override must still
+        // inherit it (the CLI is otherwise silently order-dependent); a
+        // later bodyN.twall= still wins.
+        BodySpec fresh;
+        fresh.wall_temperature_ratio = spec.wall_temperature_ratio;
+        spec.bodies.push_back(fresh);
+      }
+      e.apply(spec.bodies[index], key, value);
+      return true;
+    }
+  }
+  std::string keys;
+  for (const BodyOverrideEntry& e : body_override_table()) {
+    if (!keys.empty()) keys += ", ";
+    keys += e.key;
+  }
+  throw cli::ArgError("unknown body key '" + key + "'; body" +
+                      (has_digits ? std::to_string(index) : std::string()) +
+                      ".<key> accepts: " + keys);
 }
 
 const std::vector<OverrideEntry>& override_table() {
@@ -146,11 +245,11 @@ const std::vector<OverrideEntry>& override_table() {
        [](ScenarioSpec& s, const std::string& k, const std::string& v) {
          s.config.wall = parse_wall(k, v);
        }},
-      {"twall", "wall temperature as T_wall / T_inf",
+      {"twall", "wall temperature as T_wall / T_inf (all bodies)",
        [](ScenarioSpec& s, const std::string& k, const std::string& v) {
          const double r = cli::parse_double(k, v);
          s.wall_temperature_ratio = r;
-         s.body.wall_temperature_ratio = r;
+         for (BodySpec& b : s.bodies) b.wall_temperature_ratio = r;
        }},
       {"wall_sigma", "diffuse-wall thermal std dev (overrides twall)",
        [](ScenarioSpec& s, const std::string& k, const std::string& v) {
@@ -187,43 +286,7 @@ const std::vector<OverrideEntry>& override_table() {
        [](ScenarioSpec& s, const std::string& k, const std::string& v) {
          s.config.seed = cli::parse_uint64(k, v);
        }},
-      // --- Body factory ---
-      {"body.kind", "body: none|wedge|flat_plate|cylinder|biconic",
-       [](ScenarioSpec& s, const std::string& k, const std::string& v) {
-         s.body.kind = parse_body_kind(k, v);
-       }},
-      {"body.x0", "body anchor x (leading edge / centre / nose)",
-       set_body_double(&BodySpec::x0)},
-      {"body.y0", "body anchor y", set_body_double(&BodySpec::y0)},
-      {"body.chord", "wedge base / plate chord",
-       set_body_double(&BodySpec::chord)},
-      {"body.thickness", "plate thickness",
-       set_body_double(&BodySpec::thickness)},
-      {"body.angle_deg", "wedge angle (degrees)",
-       set_body_double(&BodySpec::angle_deg)},
-      {"body.incidence_deg", "plate incidence (degrees)",
-       set_body_double(&BodySpec::incidence_deg)},
-      {"body.radius", "cylinder radius", set_body_double(&BodySpec::radius)},
-      {"body.facets", "cylinder facet count",
-       [](ScenarioSpec& s, const std::string& k, const std::string& v) {
-         s.body.facets = cli::parse_int(k, v);
-       }},
-      {"body.len1", "biconic fore-cone length",
-       set_body_double(&BodySpec::len1)},
-      {"body.angle1_deg", "biconic fore-cone half-angle (degrees)",
-       set_body_double(&BodySpec::angle1_deg)},
-      {"body.len2", "biconic aft-cone length", set_body_double(&BodySpec::len2)},
-      {"body.angle2_deg", "biconic aft-cone half-angle (degrees)",
-       set_body_double(&BodySpec::angle2_deg)},
-      {"body.wall", "body wall model: specular|diffuse_isothermal|"
-                    "diffuse_adiabatic",
-       [](ScenarioSpec& s, const std::string& k, const std::string& v) {
-         s.body.wall = parse_wall(k, v);
-       }},
-      {"body.twall", "body wall temperature as T_wall / T_inf",
-       [](ScenarioSpec& s, const std::string& k, const std::string& v) {
-         s.body.wall_temperature_ratio = cli::parse_double(k, v);
-       }},
+      // (Body factory keys live in body_override_table(): body.* / bodyN.*)
       // --- Schedule ---
       {"steady", "fixed warmup steps before averaging",
        [](ScenarioSpec& s, const std::string& k, const std::string& v) {
@@ -351,13 +414,13 @@ std::vector<ScenarioSpec> make_registry() {
     s.config.particles_per_cell = 10.0;
     s.config.has_wedge = false;
     s.config.seed = 0xC1C1ULL;
-    s.body.kind = BodyKind::kCylinder;
-    s.body.x0 = 32.0;
-    s.body.y0 = 32.0;
-    s.body.radius = 8.0;
-    s.body.facets = 36;
-    s.body.wall = geom::WallModel::kDiffuseIsothermal;
-    s.body.wall_temperature_ratio = 1.0;
+    s.bodies[0].kind = BodyKind::kCylinder;
+    s.bodies[0].x0 = 32.0;
+    s.bodies[0].y0 = 32.0;
+    s.bodies[0].radius = 8.0;
+    s.bodies[0].facets = 36;
+    s.bodies[0].wall = geom::WallModel::kDiffuseIsothermal;
+    s.bodies[0].wall_temperature_ratio = 1.0;
     s.schedule.steady_steps = 400;
     s.schedule.avg_steps = 400;
     s.sinks = {"ascii", "report", "json", "surface_csv"};
@@ -377,14 +440,14 @@ std::vector<ScenarioSpec> make_registry() {
     s.config.lambda_inf = 0.5;
     s.config.particles_per_cell = 8.0;
     s.config.has_wedge = false;
-    s.body.kind = BodyKind::kBiconic;
-    s.body.x0 = 30.0;
-    s.body.y0 = 32.0;
-    s.body.len1 = 20.0;
-    s.body.angle1_deg = 25.0;
-    s.body.len2 = 15.0;
-    s.body.angle2_deg = 10.0;
-    s.body.wall = geom::WallModel::kDiffuseIsothermal;
+    s.bodies[0].kind = BodyKind::kBiconic;
+    s.bodies[0].x0 = 30.0;
+    s.bodies[0].y0 = 32.0;
+    s.bodies[0].len1 = 20.0;
+    s.bodies[0].angle1_deg = 25.0;
+    s.bodies[0].len2 = 15.0;
+    s.bodies[0].angle2_deg = 10.0;
+    s.bodies[0].wall = geom::WallModel::kDiffuseIsothermal;
     s.schedule.steady_steps = 400;
     s.schedule.avg_steps = 400;
     s.sinks = {"ascii", "report", "json", "surface_csv"};
@@ -404,13 +467,13 @@ std::vector<ScenarioSpec> make_registry() {
     s.config.lambda_inf = 0.5;
     s.config.particles_per_cell = 12.0;
     s.config.has_wedge = false;
-    s.body.kind = BodyKind::kFlatPlate;
-    s.body.x0 = 30.0;
-    s.body.y0 = 28.0;
-    s.body.chord = 30.0;
-    s.body.thickness = 2.0;
-    s.body.incidence_deg = 10.0;
-    s.body.wall = geom::WallModel::kDiffuseIsothermal;
+    s.bodies[0].kind = BodyKind::kFlatPlate;
+    s.bodies[0].x0 = 30.0;
+    s.bodies[0].y0 = 28.0;
+    s.bodies[0].chord = 30.0;
+    s.bodies[0].thickness = 2.0;
+    s.bodies[0].incidence_deg = 10.0;
+    s.bodies[0].wall = geom::WallModel::kDiffuseIsothermal;
     s.schedule.steady_steps = 400;
     s.schedule.avg_steps = 400;
     s.sinks = {"ascii", "report", "json", "surface_csv"};
@@ -459,6 +522,73 @@ std::vector<ScenarioSpec> make_registry() {
     s.sinks = {"report", "json"};
     reg.push_back(s);
   }
+  {
+    ScenarioSpec s;
+    s.name = "tandem_cylinders";
+    s.description =
+        "Mach 10 rarefied flow over two cylinders in tandem (multi-body "
+        "scene); per-body Cd/Cl shows the wake shielding of the aft body";
+    s.config.nx = 140;
+    s.config.ny = 64;
+    s.config.mach = 10.0;
+    s.config.sigma = 0.12;
+    s.config.lambda_inf = 0.5;
+    s.config.particles_per_cell = 8.0;
+    s.config.has_wedge = false;
+    s.config.seed = 0x7A2DE3ULL;
+    s.bodies.resize(2);
+    for (BodySpec& b : s.bodies) {
+      b.kind = BodyKind::kCylinder;
+      b.y0 = 32.0;
+      b.radius = 6.0;
+      b.facets = 36;
+      b.wall = geom::WallModel::kDiffuseIsothermal;
+      b.wall_temperature_ratio = 1.0;
+    }
+    s.bodies[0].x0 = 36.0;
+    s.bodies[1].x0 = 92.0;
+    s.schedule.steady_steps = 400;
+    s.schedule.avg_steps = 400;
+    s.sinks = {"ascii", "report", "json", "surface_csv"};
+    s.contour_vmax = 6.0;
+    reg.push_back(s);
+  }
+  {
+    ScenarioSpec s;
+    s.name = "biconic_flare";
+    s.description =
+        "Mach 6 rarefied biconic with an aft flat-plate flare (multi-body "
+        "scene): nose shock impinging on a downstream surface";
+    s.config.nx = 140;
+    s.config.ny = 64;
+    s.config.mach = 6.0;
+    s.config.sigma = 0.12;
+    s.config.lambda_inf = 0.5;
+    s.config.particles_per_cell = 8.0;
+    s.config.has_wedge = false;
+    s.config.seed = 0xB1F1A2ULL;
+    s.bodies.resize(2);
+    s.bodies[0].kind = BodyKind::kBiconic;
+    s.bodies[0].x0 = 28.0;
+    s.bodies[0].y0 = 36.0;
+    s.bodies[0].len1 = 20.0;
+    s.bodies[0].angle1_deg = 25.0;
+    s.bodies[0].len2 = 15.0;
+    s.bodies[0].angle2_deg = 10.0;
+    s.bodies[0].wall = geom::WallModel::kDiffuseIsothermal;
+    s.bodies[1].kind = BodyKind::kFlatPlate;
+    s.bodies[1].x0 = 72.0;
+    s.bodies[1].y0 = 18.0;
+    s.bodies[1].chord = 30.0;
+    s.bodies[1].thickness = 2.0;
+    s.bodies[1].incidence_deg = 0.0;
+    s.bodies[1].wall = geom::WallModel::kDiffuseIsothermal;
+    s.schedule.steady_steps = 400;
+    s.schedule.avg_steps = 400;
+    s.sinks = {"ascii", "report", "json", "surface_csv"};
+    s.contour_vmax = 6.0;
+    reg.push_back(s);
+  }
   return reg;
 }
 
@@ -505,16 +635,27 @@ core::SimConfig ScenarioSpec::build_config() const {
   // an explicit wall_sigma override wins.
   cfg.set_wall_temperature_ratio(wall_temperature_ratio);
   if (wall_sigma_override) cfg.wall_sigma = *wall_sigma_override;
-  BodySpec b = body;
-  // `body.kind=wedge` with no explicit geometry upgrades the legacy wedge
-  // in place: inherit the config's wedge fields so the two paths describe
-  // the same body.
-  if (b.kind == BodyKind::kWedge && b.chord <= 0.0) {
-    b.x0 = cfg.wedge_x0;
-    b.chord = cfg.wedge_base;
-    b.angle_deg = cfg.wedge_angle_deg;
+  std::vector<geom::Body> made;
+  for (std::size_t n = 0; n < bodies.size(); ++n) {
+    BodySpec b = bodies[n];
+    // `body.kind=wedge` with no explicit geometry upgrades the legacy wedge
+    // in place: inherit the config's wedge fields so the two paths describe
+    // the same body (body 0 only; extra bodies must be explicit).
+    if (n == 0 && b.kind == BodyKind::kWedge && b.chord <= 0.0) {
+      b.x0 = cfg.wedge_x0;
+      b.chord = cfg.wedge_base;
+      b.angle_deg = cfg.wedge_angle_deg;
+    }
+    if (auto body = b.make(cfg.sigma)) made.push_back(std::move(*body));
   }
-  cfg.body = b.make(cfg.sigma);
+  // First body keeps the legacy cfg.body slot; the rest form the scene list.
+  cfg.body.reset();
+  cfg.bodies.clear();
+  if (!made.empty()) {
+    cfg.body = std::move(made.front());
+    cfg.bodies.assign(std::make_move_iterator(made.begin() + 1),
+                      std::make_move_iterator(made.end()));
+  }
   cfg.validate();
   return cfg;
 }
@@ -559,18 +700,32 @@ const std::vector<std::string>& override_keys() {
   static const std::vector<std::string> keys = [] {
     std::vector<std::string> k;
     for (const auto& e : override_table()) k.push_back(e.key);
+    // Body factory keys, advertised in their body.* spelling (each is also
+    // addressable per scene body as body<N>.*).
+    for (const auto& e : body_override_table())
+      k.push_back(std::string("body.") + e.key);
     return k;
   }();
   return keys;
 }
 
 std::string override_help(const std::string& key) {
+  // bodyN.suffix / body.suffix routes to the body table.
+  if (key.rfind("body", 0) == 0) {
+    const std::size_t dot = key.find('.');
+    if (dot != std::string::npos) {
+      const std::string suffix = key.substr(dot + 1);
+      for (const auto& e : body_override_table())
+        if (suffix == e.key) return e.help;
+    }
+  }
   const OverrideEntry* e = find_entry(key);
   return e != nullptr ? e->help : "";
 }
 
 void apply_override(ScenarioSpec& spec, const std::string& key,
                     const std::string& value) {
+  if (apply_body_override(spec, key, value)) return;
   const OverrideEntry* e = find_entry(key);
   if (e == nullptr) cli::throw_unknown_key(key, override_keys());
   e->apply(spec, key, value);

@@ -28,8 +28,10 @@ enum class BodyKind { kNone, kWedge, kFlatPlate, kCylinder, kBiconic };
 // shared by parsing, error messages and `cmdsmc list/describe`.
 const char* body_kind_name(BodyKind kind);
 
-// Body factory parameters, addressable by name through overrides
-// (body.kind=cylinder body.radius=6 body.facets=24 ...).
+// Body factory parameters, addressable by name through overrides.  Body 0
+// answers both the legacy `body.*` spelling and `body0.*`; additional scene
+// bodies are addressed as `body1.*`, `body2.*`, ... (the bodies list grows
+// on first mention).
 struct BodySpec {
   BodyKind kind = BodyKind::kNone;
   double x0 = 0.0, y0 = 0.0;     // anchor (leading edge / centre / nose)
@@ -72,8 +74,10 @@ struct RunSchedule {
 struct ScenarioSpec {
   std::string name;
   std::string description;
-  core::SimConfig config;  // config.body is never set here; see BodySpec
-  BodySpec body;
+  core::SimConfig config;  // config.body/bodies are never set here; see below
+  // The scene's bodies, in order (bodies[0] is the legacy single body;
+  // kNone entries are skipped at build time).  Never empty.
+  std::vector<BodySpec> bodies{BodySpec{}};
   RunSchedule schedule;
   // T_wall / T_inf of the legacy (non-Body) diffuse walls; config.wall_sigma
   // is derived from the *final* sigma at build_config time, so overriding
@@ -111,7 +115,9 @@ std::vector<std::string> scenario_names();
 // --- Overrides --------------------------------------------------------------
 
 // Every key apply_override accepts, in table order (for error messages and
-// `cmdsmc describe`).
+// `cmdsmc describe`).  Body factory keys are listed in their `body.*`
+// spelling; every one of them is equally addressable per scene body as
+// `body<N>.*` (body0.* == body.*).
 const std::vector<std::string>& override_keys();
 
 // One-line description of an override key ("" for unknown keys).

@@ -222,7 +222,8 @@ TEST(BodyBoundary, SpecularConservesEnergyOnArbitraryAngleSegment) {
   geom::BoundaryConfig bc;
   bc.x_max = 98.0;
   bc.y_max = 64.0;
-  bc.body = &plate;
+  const geom::Scene scene_plate(std::vector<geom::Body>{plate});
+  bc.scene = &scene_plate;
   cmdsmc::rng::SplitMix64 g(17);
   int reflected = 0;
   for (int trial = 0; trial < 5000; ++trial) {
@@ -247,7 +248,8 @@ TEST(BodyBoundary, DiffuseIsothermalRefluxTemperature) {
   geom::BoundaryConfig bc;
   bc.x_max = 98.0;
   bc.y_max = 64.0;
-  bc.body = &plate;
+  const geom::Scene scene_plate(std::vector<geom::Body>{plate});
+  bc.scene = &scene_plate;
   cmdsmc::rng::SplitMix64 g(19);
   double sum_vn2 = 0.0;
   double sum_e = 0.0;
@@ -277,7 +279,8 @@ TEST(BodyBoundary, DiffuseAdiabaticPreservesParticleEnergy) {
   geom::BoundaryConfig bc;
   bc.x_max = 98.0;
   bc.y_max = 64.0;
-  bc.body = &cyl;
+  const geom::Scene scene_cyl(std::vector<geom::Body>{cyl});
+  bc.scene = &scene_cyl;
   cmdsmc::rng::SplitMix64 g(23);
   for (int trial = 0; trial < 2000; ++trial) {
     const double a = 2.0 * std::numbers::pi * g.next_double();
@@ -296,7 +299,8 @@ TEST(BodyBoundary, WallEventsRecordMomentumAndEnergyTransfer) {
   geom::BoundaryConfig bc;
   bc.x_max = 98.0;
   bc.y_max = 64.0;
-  bc.body = &b;
+  const geom::Scene scene_b(std::vector<geom::Body>{b});
+  bc.scene = &scene_b;
   // Head-on specular hit on the vertical back face: the wall receives
   // 2 m |ux| of -x momentum and no energy.
   geom::ParticleState p{44.9, 2.0, 0, -0.4, 0.0, 0, 0, 0};
@@ -319,7 +323,8 @@ TEST(BodyBoundary, MixedPerSegmentWallModels) {
   geom::BoundaryConfig bc;
   bc.x_max = 98.0;
   bc.y_max = 64.0;
-  bc.body = &b;
+  const geom::Scene scene_b(std::vector<geom::Body>{b});
+  bc.scene = &scene_b;
   // Back face stays deterministic-specular.
   geom::ParticleState p{44.9, 2.0, 0, -0.4, 0.0, 0, 0, 0};
   ASSERT_TRUE(geom::enforce_boundaries(p, bc, 12345));

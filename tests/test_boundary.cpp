@@ -302,10 +302,11 @@ TEST(InteriorMask, WedgeTunnelMaskIsConservativeAndUseful) {
 TEST(InteriorMask, BodyMaskRespectsCylinder) {
   const geom::Grid grid{48, 32, 0};
   const geom::Body body = geom::Body::Cylinder(20.0, 16.0, 6.0, 16);
+  const geom::Scene scene(std::vector<geom::Body>{body});
   geom::BoundaryConfig bc;
   bc.x_max = 48.0;
   bc.y_max = 32.0;
-  bc.body = &body;
+  bc.scene = &scene;
   const double d = 1.0;
   const auto mask = geom::interior_cell_mask(grid, bc, 0.0, d);
   expect_mask_is_safe(grid, bc, mask, d);

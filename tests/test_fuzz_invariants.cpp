@@ -152,6 +152,61 @@ INSTANTIATE_TEST_SUITE_P(
         FuzzCase{32, 24, 0, 8.0, 0.05, 0.3, 6.0, true, 0, 0},
         FuzzCase{32, 24, 0, 1.2, 0.18, 2.0, 6.0, true, 1, 0}));
 
+TEST(SimulationFuzz, NoParticleEndsInsideAnyBodyOfAMultiBodyScene) {
+  // Sweep of 2- and 3-body scenes across upstream modes and wall models:
+  // after every step, no flow particle may sit inside any body (the scene
+  // union; a stale single-body interior mask or a facet tie-break gap would
+  // break this).
+  struct SceneCase {
+    int upstream;  // 0 plunger, 1 soft source
+    int wall;      // 0 specular, 1 diffuse isothermal
+    bool third_body;
+  };
+  for (const SceneCase sc : {SceneCase{0, 1, false}, SceneCase{1, 0, false},
+                             SceneCase{0, 0, true}, SceneCase{1, 1, true}}) {
+    core::SimConfig cfg;
+    cfg.nx = 72;
+    cfg.ny = 32;
+    cfg.mach = 6.0;
+    cfg.sigma = 0.12;
+    cfg.lambda_inf = 0.5;
+    cfg.particles_per_cell = 6.0;
+    cfg.has_wedge = false;
+    cfg.body = geom::Body::Cylinder(18.0, 16.0, 5.0, 16);
+    cfg.bodies.push_back(geom::Body::Cylinder(42.0, 16.0, 5.0, 16));
+    if (sc.third_body)
+      cfg.bodies.push_back(
+          geom::Body::FlatPlate(54.0, 24.0, 12.0, 1.5, 8.0 * kRad));
+    cfg.upstream = sc.upstream == 0 ? geom::UpstreamMode::kPlunger
+                                    : geom::UpstreamMode::kSoftSource;
+    cfg.wall = sc.wall == 0 ? geom::WallModel::kSpecular
+                            : geom::WallModel::kDiffuseIsothermal;
+    cfg.reservoir_fraction = 0.3;
+    cfg.seed = 0xF022ULL;
+    cmdp::ThreadPool pool(4);
+    core::SimulationD sim(cfg, &pool);
+    ASSERT_EQ(sim.scene().body_count(), sc.third_body ? 3 : 2);
+    for (int step = 0; step < 25; ++step) {
+      sim.step();
+      const auto& s = sim.particles();
+      for (std::size_t i = 0; i < s.size(); ++i) {
+        if (s.flags[i] & core::ParticleStore<double>::kReservoirFlag)
+          continue;
+        const int b = sim.scene().inside_body(s.x[i], s.y[i]);
+        if (b < 0) continue;
+        // Boundary-inclusive inside(): a particle exactly on a facet is
+        // legal; penetration beyond rounding depth is not.
+        const auto hit = sim.scene().nearest_face(s.x[i], s.y[i]);
+        ASSERT_TRUE(hit.has_value());
+        ASSERT_GT(hit->hit.depth, -1e-9)
+            << "step " << step << " particle " << i << " buried in body "
+            << b << " at " << s.x[i] << "," << s.y[i];
+      }
+    }
+    EXPECT_GT(sim.counters().collisions, 0u);
+  }
+}
+
 TEST(SimulationFuzz, HardSphereAndPowerLawGasesRun) {
   for (auto pot : {cmdsmc::physics::Potential::kHardSphere,
                    cmdsmc::physics::Potential::kInversePower}) {

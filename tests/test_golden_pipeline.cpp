@@ -135,6 +135,22 @@ core::SimConfig cylinder_cfg() {
   return cfg;
 }
 
+// A two-body scene through the Scene-accelerated path: tandem cylinders
+// with diffuse walls, plunger upstream, per-(body, segment) flux indexing.
+core::SimConfig tandem_cfg() {
+  core::SimConfig cfg;
+  cfg.nx = 64;
+  cfg.ny = 32;
+  cfg.has_wedge = false;
+  cfg.body = geom::Body::Cylinder(18.0, 16.0, 5.0, 12);
+  cfg.bodies.push_back(geom::Body::Cylinder(44.0, 16.0, 5.0, 12));
+  cfg.wall = geom::WallModel::kDiffuseIsothermal;
+  cfg.particles_per_cell = 8.0;
+  cfg.lambda_inf = 0.5;
+  cfg.seed = 0x5eed601dULL;
+  return cfg;
+}
+
 constexpr unsigned kGoldenThreads = 3;
 constexpr int kWarmSteps = 20;
 constexpr int kAvgSteps = 10;
@@ -169,14 +185,19 @@ void check(const char* name, const GoldenTriple& got,
   EXPECT_EQ(got.diag, want.diag) << name << ": diagnostics diverged";
 }
 
-// Pinned pre-refactor values (see header comment).
-constexpr GoldenTriple kGolden[4] = {
+// Pinned pre-refactor values (see header comment).  The tandem pair was
+// pinned when the multi-body Scene landed (no pre-Scene pipeline could run
+// it); it guards the scene-accelerated path against later drift.
+constexpr GoldenTriple kGolden[6] = {
     {0x1a0ebf06f9f54e5aull, 0x97057b93f77259fcull, 0x83726853f599984cull},
     // wedge double ^, wedge fixed v
     {0x52a549304519061eull, 0x3680e4194eb508b7ull, 0x45b437e2a62ca66aull},
     {0x71f2d96154f643f1ull, 0x5ec0474e57fb5f3dull, 0x2115fcd97095ffddull},
     // cylinder double ^, cylinder fixed v
     {0x3d29e0bd4bb9eff4ull, 0x251c9d1972932f3full, 0xd9542098dd6ab304ull},
+    {0x500abe99af585c80ull, 0xcb030d5264946235ull, 0x12a1458a37e9df02ull},
+    // tandem double ^, tandem fixed v
+    {0xb4073cb330ed867dull, 0x34810855f069eabeull, 0x839cd7da3c979a70ull},
 };
 
 }  // namespace
@@ -203,6 +224,17 @@ TEST(GoldenPipeline, CylinderFixed) {
         kGolden[3]);
 }
 
+TEST(GoldenPipeline, TandemCylindersDouble) {
+  check("tandem double", run_case<double>(tandem_cfg(), kGoldenThreads),
+        kGolden[4]);
+}
+
+TEST(GoldenPipeline, TandemCylindersFixed) {
+  check("tandem fixed",
+        run_case<fixedpoint::Fixed32>(tandem_cfg(), kGoldenThreads),
+        kGolden[5]);
+}
+
 // The particle state (sorted order, counters, every state bit) must not
 // depend on the thread count: the sort is stable and deterministic per lane
 // partition, all counters are integers, and no RNG draw depends on a lane id.
@@ -216,4 +248,7 @@ TEST(GoldenPipeline, StateIsThreadCountInvariant) {
   const auto d = run_case<fixedpoint::Fixed32>(cylinder_cfg(),
                                                kGoldenThreads);
   EXPECT_EQ(c.state, d.state);
+  const auto e = run_case<double>(tandem_cfg(), 1);
+  const auto f = run_case<double>(tandem_cfg(), kGoldenThreads);
+  EXPECT_EQ(e.state, f.state);
 }

@@ -188,6 +188,138 @@ TEST(Checkpoint, ResumesSimulationDeterministically) {
   (void)a;
 }
 
+namespace {
+
+// Two-body diffuse-wall scene: exercises the surface sampler and the scene
+// geometry hash through the checkpoint.
+core::SimConfig scene_cfg() {
+  core::SimConfig cfg;
+  cfg.nx = 56;
+  cfg.ny = 32;
+  cfg.mach = 6.0;
+  cfg.sigma = 0.12;
+  cfg.lambda_inf = 0.5;
+  cfg.particles_per_cell = 6.0;
+  cfg.has_wedge = false;
+  cfg.body = cmdsmc::geom::Body::Cylinder(16.0, 16.0, 5.0, 16);
+  cfg.bodies.push_back(cmdsmc::geom::Body::Cylinder(38.0, 16.0, 5.0, 16));
+  cfg.wall = cmdsmc::geom::WallModel::kDiffuseIsothermal;
+  cfg.seed = 0xC4C4ULL;
+  return cfg;
+}
+
+}  // namespace
+
+TEST(Checkpoint, MidAveragingRoundTripReproducesTheRunExactly) {
+  // The satellite bugfix: a simulation checkpoint taken mid-averaging must
+  // carry the sampler accumulators, so the restored run finishes with the
+  // *exact* surface coefficients and fields of the uninterrupted run.
+  cmdp::ThreadPool pool(3);
+  const core::SimConfig cfg = scene_cfg();
+
+  // Uninterrupted reference: 15 warmup + 16 averaged steps.
+  core::SimulationD a(cfg, &pool);
+  a.run(15);
+  a.set_sampling(true);
+  a.set_surface_sampling(true);
+  a.run(16);
+
+  // Interrupted twin: snapshot after 8 averaged steps, restore, finish.
+  core::SimulationD b(cfg, &pool);
+  b.run(15);
+  b.set_sampling(true);
+  b.set_surface_sampling(true);
+  b.run(8);
+  const std::string path = testing::TempDir() + "/cmdsmc_sim_ckpt.bin";
+  core::save_checkpoint(path, b);
+  core::SimulationD c(cfg, &pool);
+  core::load_checkpoint(path, c);
+  c.set_sampling(true);
+  c.set_surface_sampling(true);
+  c.run(8);
+  std::remove(path.c_str());
+
+  EXPECT_EQ(c.step_index(), a.step_index());
+  EXPECT_EQ(c.counters().collisions, a.counters().collisions);
+  EXPECT_EQ(c.counters().removed, a.counters().removed);
+  EXPECT_EQ(c.counters().injected, a.counters().injected);
+  EXPECT_EQ(c.flow_count(), a.flow_count());
+
+  // Particle state: bit-identical.
+  const auto& sa = a.particles();
+  const auto& sc = c.particles();
+  ASSERT_EQ(sa.size(), sc.size());
+  EXPECT_EQ(sa.x, sc.x);
+  EXPECT_EQ(sa.ux, sc.ux);
+  EXPECT_EQ(sa.cell, sc.cell);
+
+  // Surface coefficients: exact (not just close) — the accumulators rode
+  // through the checkpoint.
+  const core::SurfaceStats surf_a = a.surface();
+  const core::SurfaceStats surf_c = c.surface();
+  ASSERT_EQ(surf_a.samples, surf_c.samples);
+  EXPECT_EQ(surf_a.cd, surf_c.cd);
+  EXPECT_EQ(surf_a.cl, surf_c.cl);
+  EXPECT_EQ(surf_a.heat_total, surf_c.heat_total);
+  ASSERT_EQ(surf_a.segments.size(), surf_c.segments.size());
+  for (std::size_t i = 0; i < surf_a.segments.size(); ++i) {
+    EXPECT_EQ(surf_a.segments[i].p, surf_c.segments[i].p) << i;
+    EXPECT_EQ(surf_a.segments[i].q, surf_c.segments[i].q) << i;
+    EXPECT_EQ(surf_a.segments[i].hits_per_step,
+              surf_c.segments[i].hits_per_step)
+        << i;
+  }
+  const auto per_a = a.surface_per_body();
+  const auto per_c = c.surface_per_body();
+  ASSERT_EQ(per_a.size(), 2u);
+  ASSERT_EQ(per_c.size(), 2u);
+  for (std::size_t b2 = 0; b2 < per_a.size(); ++b2)
+    EXPECT_EQ(per_a[b2].cd, per_c[b2].cd) << b2;
+
+  // Field accumulators too.
+  const core::FieldStats fa = a.field();
+  const core::FieldStats fc = c.field();
+  ASSERT_EQ(fa.samples, fc.samples);
+  EXPECT_EQ(fa.density, fc.density);
+  EXPECT_EQ(fa.t_total, fc.t_total);
+}
+
+TEST(Checkpoint, RefusesRestoreAgainstMismatchedGeometry) {
+  cmdp::ThreadPool pool(2);
+  const core::SimConfig cfg = scene_cfg();
+  core::SimulationD sim(cfg, &pool);
+  sim.run(3);
+  const std::string path = testing::TempDir() + "/cmdsmc_geo_ckpt.bin";
+  core::save_checkpoint(path, sim);
+
+  // Shifted second body: different scene hash.
+  core::SimConfig moved = scene_cfg();
+  moved.bodies.clear();
+  moved.bodies.push_back(cmdsmc::geom::Body::Cylinder(38.0, 17.0, 5.0, 16));
+  core::SimulationD sim_moved(moved, &pool);
+  EXPECT_THROW(core::load_checkpoint(path, sim_moved), std::runtime_error);
+
+  // Different grid: refused.
+  core::SimConfig wider = scene_cfg();
+  wider.nx = 64;
+  core::SimulationD sim_wider(wider, &pool);
+  EXPECT_THROW(core::load_checkpoint(path, sim_wider), std::runtime_error);
+
+  // Different scalar type: refused.
+  core::SimulationF sim_fixed(cfg, &pool);
+  EXPECT_THROW(core::load_checkpoint(path, sim_fixed), std::runtime_error);
+
+  // Same config: accepted.
+  core::SimulationD sim_same(cfg, &pool);
+  EXPECT_NO_THROW(core::load_checkpoint(path, sim_same));
+  EXPECT_EQ(sim_same.step_index(), sim.step_index());
+
+  // A store-only (v1) checkpoint is not a simulation checkpoint.
+  core::save_checkpoint(path, sim.particles());
+  EXPECT_THROW(core::load_checkpoint(path, sim_same), std::runtime_error);
+  std::remove(path.c_str());
+}
+
 TEST(SteadyDetector, DetectsPlateauAfterTransient) {
   core::SteadyDetector det(20, 0.01, 2);
   int step = 0;
