@@ -1,0 +1,93 @@
+#!/usr/bin/env python3
+"""Perf-regression gate over BENCH_pipeline.json.
+
+Compares the per-particle step time of a fresh bench run against the
+committed baseline and fails (exit 1) when it regresses by more than the
+allowed fraction.  Optionally appends the run to a JSON-lines trajectory
+file so the uploaded artifact carries the history instead of a single
+point.
+
+Usage:
+    check_bench.py CURRENT.json BASELINE.json [--max-regress 0.25]
+                   [--append TRAJECTORY.jsonl] [--label LABEL]
+
+The gate metric is `usec_per_particle_step`.  The baseline is measured at
+tiny CI scale (CMDSMC_PPC=4 CMDSMC_STEADY_STEPS=60); refresh it with
+    CMDSMC_PPC=4 CMDSMC_STEADY_STEPS=60 ./build/perf_pipeline && \
+        cp BENCH_pipeline.json bench/baselines/BENCH_pipeline.baseline.json
+when runners or the pipeline change intentionally (note the new number in
+the PR).  CMDSMC_BENCH_MAX_REGRESS overrides the threshold without a
+workflow edit.
+"""
+
+import argparse
+import json
+import os
+import sys
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("current")
+    ap.add_argument("baseline")
+    ap.add_argument("--max-regress", type=float,
+                    default=float(os.environ.get("CMDSMC_BENCH_MAX_REGRESS",
+                                                 0.25)),
+                    help="allowed fractional slowdown (default 0.25)")
+    ap.add_argument("--append", metavar="FILE",
+                    help="append the current run to this .jsonl trajectory")
+    ap.add_argument("--label", default="",
+                    help="free-form tag recorded with the appended run "
+                         "(e.g. the commit SHA)")
+    args = ap.parse_args()
+
+    with open(args.current) as f:
+        cur = json.load(f)
+    with open(args.baseline) as f:
+        base = json.load(f)
+
+    metric = "usec_per_particle_step"
+    cur_v = float(cur[metric])
+    base_v = float(base[metric])
+    if cur_v <= 0 or base_v <= 0:
+        print(f"check_bench: bad {metric}: current={cur_v} baseline={base_v}")
+        return 1
+
+    ratio = cur_v / base_v
+    limit = 1.0 + args.max_regress
+    print(f"check_bench: {metric} current={cur_v:.6f} baseline={base_v:.6f} "
+          f"ratio={ratio:.3f} limit={limit:.3f} "
+          f"(threads {cur.get('threads')} vs {base.get('threads')}, "
+          f"particles {cur.get('particles')} vs {base.get('particles')})")
+
+    # Per-particle time at tiny scale is only comparable at equal thread
+    # counts (parallel overhead dominates otherwise) — the workflow pins
+    # CMDSMC_THREADS to match the baseline.
+    if cur.get("threads") != base.get("threads"):
+        print(f"check_bench: FAIL — thread count mismatch "
+              f"({cur.get('threads')} vs baseline {base.get('threads')}); "
+              f"run the bench with CMDSMC_THREADS={base.get('threads')}.")
+        return 1
+
+    if args.append:
+        rec = dict(cur)
+        rec["label"] = args.label
+        rec["baseline_" + metric] = base_v
+        rec["ratio_vs_baseline"] = ratio
+        with open(args.append, "a") as f:
+            f.write(json.dumps(rec, sort_keys=True) + "\n")
+        print(f"check_bench: appended run to {args.append}")
+
+    if ratio > limit:
+        print(f"check_bench: FAIL — per-particle time regressed "
+              f"{(ratio - 1.0) * 100:.1f}% (> {args.max_regress * 100:.0f}% "
+              f"allowed). If intentional, refresh "
+              f"bench/baselines/BENCH_pipeline.baseline.json and explain in "
+              f"the PR.")
+        return 1
+    print("check_bench: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -10,8 +10,10 @@ namespace cmdsmc::core {
 
 namespace {
 
-constexpr std::uint64_t kMagic = 0x434d44534d433031ull;   // "CMDSMC01"
-constexpr std::uint64_t kMagicSim = 0x434d44534d433032ull;  // "CMDSMC02"
+// Format v2 (axisymmetric weights + balance counters); v1 files are refused
+// with a bad-magic error rather than misread.
+constexpr std::uint64_t kMagic = 0x434d44534d433033ull;   // "CMDSMC03"
+constexpr std::uint64_t kMagicSim = 0x434d44534d433034ull;  // "CMDSMC04"
 
 template <class Real>
 constexpr std::uint32_t scalar_tag() {
@@ -55,8 +57,10 @@ template <class Real>
 void write_store(std::ostream& os, const ParticleStore<Real>& s) {
   const std::uint8_t has_z = s.has_z ? 1 : 0;
   const std::uint8_t has_vib = s.has_vib ? 1 : 0;
+  const std::uint8_t has_weight = s.has_weight ? 1 : 0;
   write_pod(os, has_z);
   write_pod(os, has_vib);
+  write_pod(os, has_weight);
   write_vec(os, s.x);
   write_vec(os, s.y);
   if (s.has_z) write_vec(os, s.z);
@@ -69,6 +73,7 @@ void write_store(std::ostream& os, const ParticleStore<Real>& s) {
     write_vec(os, s.v0);
     write_vec(os, s.v1);
   }
+  if (s.has_weight) write_vec(os, s.weight);
   write_vec(os, s.perm);
   write_vec(os, s.cell);
   write_vec(os, s.flags);
@@ -79,10 +84,13 @@ template <class Real>
 void read_store(std::istream& is, ParticleStore<Real>& s) {
   std::uint8_t has_z = 0;
   std::uint8_t has_vib = 0;
+  std::uint8_t has_weight = 0;
   read_pod(is, has_z);
   read_pod(is, has_vib);
+  read_pod(is, has_weight);
   s.has_z = has_z != 0;
   s.has_vib = has_vib != 0;
+  s.has_weight = has_weight != 0;
   read_vec(is, s.x);
   read_vec(is, s.y);
   if (s.has_z) read_vec(is, s.z);
@@ -95,6 +103,7 @@ void read_store(std::istream& is, ParticleStore<Real>& s) {
     read_vec(is, s.v0);
     read_vec(is, s.v1);
   }
+  if (s.has_weight) read_vec(is, s.weight);
   read_vec(is, s.perm);
   read_vec(is, s.cell);
   read_vec(is, s.flags);
@@ -146,6 +155,8 @@ void save_checkpoint(const std::string& path, const Simulation<Real>& sim) {
   write_pod(os, st.counters.removed);
   write_pod(os, st.counters.injected);
   write_pod(os, st.counters.synthesized);
+  write_pod(os, st.counters.cloned);
+  write_pod(os, st.counters.merged);
   write_pod(os, static_cast<std::int32_t>(st.field_samples));
   write_vec(os, st.field_sums);
   write_pod(os, static_cast<std::int32_t>(st.surface_samples));
@@ -189,6 +200,8 @@ void load_checkpoint(const std::string& path, Simulation<Real>& sim) {
   read_pod(is, st.counters.removed);
   read_pod(is, st.counters.injected);
   read_pod(is, st.counters.synthesized);
+  read_pod(is, st.counters.cloned);
+  read_pod(is, st.counters.merged);
   read_pod(is, samples);
   st.field_samples = samples;
   read_vec(is, st.field_sums);

@@ -33,6 +33,18 @@ struct SimConfig {
   int nx = 98;
   int ny = 64;
   int nz = 0;
+  // Axisymmetric (z-r) mode: the grid's y axis is reinterpreted as radius,
+  // cells become unit-width annuli about the r = 0 axis (the domain floor),
+  // and particles carry a radial statistical weight proportional to the
+  // annular volume of their cell.  The move phase advances particles in 3D
+  // and rotates them back into the plane (the azimuthal velocity folds into
+  // uz); collision probabilities and field moments use annular cell volumes
+  // and weighted counts; a split/merge balancing pass keeps per-cell
+  // simulator counts flat as particles migrate in r.  Bodies must be bodies
+  // of revolution about r = 0: center them on y = 0 (the half below the axis
+  // is the revolved mirror image and is never reached by particles).
+  // Requires nz == 0 and the generalized-body path (no legacy wedge).
+  bool axisymmetric = false;
 
   // --- Freestream ---
   double mach = 4.0;
@@ -132,11 +144,33 @@ struct SimConfig {
       throw std::invalid_argument("SimConfig: particles_per_cell must be > 0");
     if (reservoir_fraction < 0.0)
       throw std::invalid_argument("SimConfig: reservoir_fraction must be >= 0");
+    if (axisymmetric) {
+      if (nz > 0)
+        throw std::invalid_argument(
+            "SimConfig: axisymmetric mode is 2D (z-r); it cannot be combined "
+            "with the 3D extension (set nz=0)");
+      if (has_wedge && !has_body_scene())
+        throw std::invalid_argument(
+            "SimConfig: axisymmetric mode needs a generalized body (or none); "
+            "the legacy wedge path is planar-only (set has_wedge=false or use "
+            "body.kind=...)");
+    }
     auto check_body = [&](const geom::Body& b) {
-      if (b.xmin() < 0.0 || b.xmax() >= nx || b.ymin() < 0.0 ||
+      // Axisymmetric bodies straddle the r = 0 axis (the part below it is
+      // the revolved mirror image), so only the upper half must fit.
+      const double ymin_floor = axisymmetric ? -static_cast<double>(ny) : 0.0;
+      if (b.xmin() < 0.0 || b.xmax() >= nx || b.ymin() < ymin_floor ||
           b.ymax() >= ny)
         throw std::invalid_argument("SimConfig: body '" + b.name() +
                                     "' outside the domain");
+      // A body floating wholly above the axis would revolve into a torus:
+      // the mirror-image assumption and the frontal-area Cd reference both
+      // break, so demand the outline reach r = 0 (center it on y = 0).
+      if (axisymmetric && b.ymin() > 0.0)
+        throw std::invalid_argument(
+            "SimConfig: axisymmetric body '" + b.name() +
+            "' does not touch the r=0 axis (bodies of revolution must be "
+            "centred on y=0; rings/tori are not supported)");
     };
     for (const geom::Body& b : bodies) check_body(b);
     if (body) {

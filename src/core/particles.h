@@ -27,6 +27,11 @@ struct ParticleStore {
   // Vibrational "velocities" (2 DOF harmonic oscillator), allocated only
   // when the vibrational extension is enabled.
   std::vector<Real> v0, v1;
+  // Radial statistical weight (axisymmetric runs only): how many
+  // molecule-units this simulator represents.  Always double — the weight is
+  // bookkeeping, not physical state, so it does not follow the fixed-point
+  // engine.
+  std::vector<double> weight;
   // Computational state.
   std::vector<rng::PackedPerm> perm;
   std::vector<std::uint32_t> cell;
@@ -38,6 +43,7 @@ struct ParticleStore {
 
   bool has_z = false;
   bool has_vib = false;
+  bool has_weight = false;
 
   static constexpr std::uint8_t kReservoirFlag = 1u;
 
@@ -56,6 +62,7 @@ struct ParticleStore {
       v0.resize(n);
       v1.resize(n);
     }
+    if (has_weight) weight.resize(n, 1.0);
     perm.resize(n);
     cell.resize(n);
     flags.resize(n);
@@ -71,6 +78,7 @@ struct ParticleStore {
     uz.reserve(n);
     r0.reserve(n);
     r1.reserve(n);
+    if (has_weight) weight.reserve(n);
     perm.reserve(n);
     cell.reserve(n);
     flags.reserve(n);
@@ -81,7 +89,7 @@ struct ParticleStore {
 
   void push_back(Real px, Real py, Real pz, Real vx, Real vy, Real vz,
                  Real rot0, Real rot1, rng::PackedPerm p,
-                 std::uint8_t flag = 0) {
+                 std::uint8_t flag = 0, double w = 1.0) {
     x.push_back(px);
     y.push_back(py);
     if (has_z) z.push_back(pz);
@@ -94,10 +102,42 @@ struct ParticleStore {
       v0.push_back(Real{});
       v1.push_back(Real{});
     }
+    if (has_weight) weight.push_back(w);
     perm.push_back(p);
     cell.push_back(0);
     flags.push_back(flag);
     id.push_back(static_cast<std::uint32_t>(id.size()));
+  }
+
+  // Copies record `src` over record `dst` in every active array — the one
+  // authoritative per-field enumeration compaction and cloning share (a new
+  // field only has to be added here and in resize/scatter/reorder).
+  void copy_record(std::size_t dst, std::size_t src) {
+    x[dst] = x[src];
+    y[dst] = y[src];
+    if (has_z) z[dst] = z[src];
+    ux[dst] = ux[src];
+    uy[dst] = uy[src];
+    uz[dst] = uz[src];
+    r0[dst] = r0[src];
+    r1[dst] = r1[src];
+    if (has_vib) {
+      v0[dst] = v0[src];
+      v1[dst] = v1[src];
+    }
+    if (has_weight) weight[dst] = weight[src];
+    perm[dst] = perm[src];
+    cell[dst] = cell[src];
+    flags[dst] = flags[src];
+    id[dst] = id[src];
+  }
+
+  // Appends an exact copy of record `src` (same cell, flags and id — clones
+  // keep their parent's identity; the weight-balancing pass of axisymmetric
+  // runs divides the parent's weight over the copies afterwards).
+  void push_clone(std::size_t src) {
+    resize(size() + 1);
+    copy_record(size() - 1, src);
   }
 
   // One-pass fused sort -> reorder: moves every record straight to its
@@ -110,6 +150,7 @@ struct ParticleStore {
                       const cmdp::SortPlan& plan, ParticleStore& scratch) {
     scratch.has_z = has_z;
     scratch.has_vib = has_vib;
+    scratch.has_weight = has_weight;
     scratch.resize(size());
     // Raw pointers on both sides: the per-element flags (uint8) store would
     // otherwise force the compiler to re-load every source vector pointer.
@@ -123,6 +164,7 @@ struct ParticleStore {
     const Real* const pr1 = r1.data();
     const Real* const pv0 = has_vib ? v0.data() : nullptr;
     const Real* const pv1 = has_vib ? v1.data() : nullptr;
+    const double* const pw = has_weight ? weight.data() : nullptr;
     const rng::PackedPerm* const pperm = perm.data();
     const std::uint32_t* const pcell = cell.data();
     const std::uint8_t* const pflags = flags.data();
@@ -137,6 +179,7 @@ struct ParticleStore {
     Real* const sr1 = scratch.r1.data();
     Real* const sv0 = has_vib ? scratch.v0.data() : nullptr;
     Real* const sv1 = has_vib ? scratch.v1.data() : nullptr;
+    double* const sw = has_weight ? scratch.weight.data() : nullptr;
     rng::PackedPerm* const sperm = scratch.perm.data();
     std::uint32_t* const scell = scratch.cell.data();
     std::uint8_t* const sflags = scratch.flags.data();
@@ -155,6 +198,7 @@ struct ParticleStore {
             sv0[dst] = pv0[src];
             sv1[dst] = pv1[src];
           }
+          if (sw != nullptr) sw[dst] = pw[src];
           sperm[dst] = pperm[src];
           scell[dst] = pcell[src];
           sflags[dst] = pflags[src];
@@ -169,6 +213,7 @@ struct ParticleStore {
                ParticleStore& scratch) {
     scratch.has_z = has_z;
     scratch.has_vib = has_vib;
+    scratch.has_weight = has_weight;
     scratch.resize(size());
     auto apply = [&](std::vector<Real>& a, std::vector<Real>& s) {
       cmdp::gather<Real>(pool, a, order, s);
@@ -185,6 +230,10 @@ struct ParticleStore {
     if (has_vib) {
       apply(v0, scratch.v0);
       apply(v1, scratch.v1);
+    }
+    if (has_weight) {
+      cmdp::gather<double>(pool, weight, order, scratch.weight);
+      weight.swap(scratch.weight);
     }
     cmdp::gather<rng::PackedPerm>(pool, perm, order, scratch.perm);
     perm.swap(scratch.perm);
@@ -210,6 +259,7 @@ struct ParticleStore {
       v0.swap(scratch.v0);
       v1.swap(scratch.v1);
     }
+    if (has_weight) weight.swap(scratch.weight);
     perm.swap(scratch.perm);
     cell.swap(scratch.cell);
     flags.swap(scratch.flags);

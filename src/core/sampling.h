@@ -29,7 +29,9 @@ struct FieldStats {
   std::vector<double> t_trans;   // T_trans / T_inf
   std::vector<double> t_rot;     // T_rot / T_inf
   std::vector<double> t_total;   // (3 T_trans + 2 T_rot) / 5 / T_inf
-  std::vector<double> mean_count;  // raw average particles per cell
+  // Raw average particles per cell (axisymmetric runs: average *weighted*
+  // census, i.e. molecule-units per cell).
+  std::vector<double> mean_count;
 
   double at(const std::vector<double>& f, int ix, int iy, int iz = 0) const {
     return f[grid.index(ix, iy, iz)];
@@ -41,10 +43,14 @@ struct FieldStats {
 template <class Real>
 class FieldSampler {
  public:
+  // `cell_volume` rescales each cell's open volume (axisymmetric runs pass
+  // the annular volumes 2*iy + 1, in units of pi; empty = unit cells).
   FieldSampler(const geom::Grid& grid, std::vector<double> open_fraction,
-               double n_inf, double sigma_inf)
+               double n_inf, double sigma_inf,
+               std::vector<double> cell_volume = {})
       : grid_(grid),
         open_fraction_(std::move(open_fraction)),
+        cell_volume_(std::move(cell_volume)),
         n_inf_(n_inf),
         sigma_inf_(sigma_inf),
         sums_(static_cast<std::size_t>(grid.ncells()) * kMoments, 0.0) {}
@@ -58,9 +64,12 @@ class FieldSampler {
 
   // Accumulates moments of the first `n_flow` particles (the flow particles;
   // reservoir particles sit behind them after the sort).  Requires
-  // store.cell[i] to hold the real grid cell for i < n_flow.
+  // store.cell[i] to hold the real grid cell for i < n_flow.  `weights`
+  // (when non-null) scales every moment by the particle's statistical
+  // weight — the axisymmetric radial weighting; the unweighted loop is kept
+  // separate so the planar hot path is untouched.
   void accumulate(cmdp::ThreadPool& pool, const ParticleStore<Real>& store,
-                  std::size_t n_flow) {
+                  std::size_t n_flow, const double* weights = nullptr) {
     using N = physics::Num<Real>;
     const std::size_t ncells = static_cast<std::size_t>(grid_.ncells());
     const unsigned lanes = pool.size();
@@ -81,14 +90,26 @@ class FieldSampler {
         const double w0 = N::to_double(store.r0[i]);
         const double w1 = N::to_double(store.r1[i]);
         double* m = s + static_cast<std::size_t>(c) * kMoments;
-        m[0] += 1.0;
-        m[1] += vx;
-        m[2] += vy;
-        m[3] += vz;
-        m[4] += vx * vx + vy * vy + vz * vz;
-        m[5] += w0;
-        m[6] += w1;
-        m[7] += w0 * w0 + w1 * w1;
+        if (weights == nullptr) {
+          m[0] += 1.0;
+          m[1] += vx;
+          m[2] += vy;
+          m[3] += vz;
+          m[4] += vx * vx + vy * vy + vz * vz;
+          m[5] += w0;
+          m[6] += w1;
+          m[7] += w0 * w0 + w1 * w1;
+        } else {
+          const double w = weights[i];
+          m[0] += w;
+          m[1] += w * vx;
+          m[2] += w * vy;
+          m[3] += w * vz;
+          m[4] += w * (vx * vx + vy * vy + vz * vz);
+          m[5] += w * w0;
+          m[6] += w * w1;
+          m[7] += w * (w0 * w0 + w1 * w1);
+        }
       }
     });
     cmdp::parallel_for(pool, ncells, [&](std::size_t c) {
@@ -123,8 +144,9 @@ class FieldSampler {
       f.mean_count[c] = count / samples_;
       const double open =
           c < open_fraction_.size() ? open_fraction_[c] : 1.0;
+      const double vol = c < cell_volume_.size() ? cell_volume_[c] : 1.0;
       if (open > 1e-9)
-        f.density[c] = f.mean_count[c] / (n_inf_ * open);
+        f.density[c] = f.mean_count[c] / (n_inf_ * open * vol);
       if (count < 2.0) continue;
       const double mux = m[1] / count;
       const double muy = m[2] / count;
@@ -159,6 +181,7 @@ class FieldSampler {
   static constexpr int kMoments = 8;
   geom::Grid grid_;
   std::vector<double> open_fraction_;
+  std::vector<double> cell_volume_;  // empty = unit cells (planar)
   double n_inf_;
   double sigma_inf_;
   int samples_ = 0;

@@ -40,6 +40,7 @@ enum Salt : std::uint64_t {
   kSaltTranspose,
   kSaltResCell,
   kSaltInject,
+  kSaltWeightKeep,
 };
 
 SimConfig validated(SimConfig cfg) {
@@ -87,6 +88,21 @@ std::vector<double> make_open_fraction(const geom::Grid& grid,
   return w->open_fraction_table(grid);
 }
 
+// Axisymmetric cell volumes: the cell (ix, iy) is the unit-width annulus
+// r in [iy, iy+1), volume pi * (2*iy + 1).  The pi is dropped — the radial
+// particle weights, the weighted census and the freestream density all use
+// the same pi-free units, so it cancels in every ratio.  Empty when planar
+// (unit cells).
+std::vector<double> make_cell_volume(const SimConfig& cfg,
+                                     const geom::Grid& grid) {
+  if (!cfg.axisymmetric) return {};
+  std::vector<double> vol(static_cast<std::size_t>(grid.ncells()));
+  for (int iy = 0; iy < grid.ny; ++iy)
+    for (int ix = 0; ix < grid.nx; ++ix)
+      vol[grid.index(ix, iy)] = 2.0 * iy + 1.0;
+  return vol;
+}
+
 }  // namespace
 
 template <class Real>
@@ -97,9 +113,11 @@ Simulation<Real>::Simulation(const SimConfig& cfg, cmdp::ThreadPool* pool)
       wedge_(make_wedge(cfg_)),
       scene_(make_scene(cfg_)),
       open_frac_(make_open_fraction(grid_, wedge_, scene_)),
+      cell_volume_(make_cell_volume(cfg_, grid_)),
       rule_(physics::SelectionRule::make(cfg_.gas, cfg_.lambda_inf, cfg_.sigma,
                                          cfg_.particles_per_cell)),
-      sampler_(grid_, open_frac_, cfg_.particles_per_cell, cfg_.sigma) {
+      sampler_(grid_, open_frac_, cfg_.particles_per_cell, cfg_.sigma,
+               cell_volume_) {
   seed_round_ = rng::hash4_seed_round(cfg_.seed);
   u_inf_ = cfg_.closed_box ? 0.0 : cfg_.freestream_speed();
   n_inf_ = cfg_.particles_per_cell;
@@ -108,6 +126,8 @@ Simulation<Real>::Simulation(const SimConfig& cfg, cmdp::ThreadPool* pool)
   scratch_.has_z = cfg_.is3d();
   store_.has_vib = cfg_.vibrational;
   scratch_.has_vib = cfg_.vibrational;
+  store_.has_weight = cfg_.axisymmetric;
+  scratch_.has_weight = cfg_.axisymmetric;
   phase_id_[kPhaseMove] = timers_.phase_id("move+bc");
   phase_id_[kPhaseSort] = timers_.phase_id("sort");
   phase_id_[kPhaseSelect] = timers_.phase_id("select");
@@ -115,7 +135,7 @@ Simulation<Real>::Simulation(const SimConfig& cfg, cmdp::ThreadPool* pool)
   phase_id_[kPhaseSample] = timers_.phase_id("sample");
   if (!scene_.empty())
     surf_ = SurfaceSampler(scene_.total_segments(), pool_->size(),
-                           grid_.is3d() ? grid_.nz : 1.0);
+                           grid_.is3d() ? grid_.nz : 1.0, cfg_.axisymmetric);
   plunger_.speed = u_inf_;
   plunger_.trigger = cfg_.plunger_trigger;
   rebuild_interior_mask();
@@ -245,6 +265,9 @@ void Simulation<Real>::init_particles() {
     store_.id[i] = static_cast<std::uint32_t>(i);
     store_.cell[i] = grid_.index(static_cast<int>(x), static_cast<int>(y),
                                  static_cast<int>(z));
+    // Axisymmetric: ~ppc simulators per cell each representing the cell's
+    // annular volume of gas, so the weighted census per cell is ppc * vol.
+    if (cfg_.axisymmetric) store_.weight[i] = cell_volume_[store_.cell[i]];
   });
   cmdp::parallel_for(*pool_, n_res, [&](std::size_t j) {
     const std::size_t i = n_flow + j;
@@ -401,10 +424,15 @@ void Simulation<Real>::phase_move_and_boundaries() {
   auto key_of = [&](std::size_t i, std::uint32_t cell) {
     return key_from(kp, i, cell);
   };
+  // Axisymmetric mode: the move advances particles in 3D and rotates them
+  // back into the (z-r) plane; the per-level displacement bound guards the
+  // radial excursion |dr| <= hypot(uy, uz).
+  const bool axi = cfg_.axisymmetric;
+  const double* const weightp = axi ? store_.weight.data() : nullptr;
+  const double axi_disp[3] = {0.0, kInteriorDispL1, kInteriorMaxDisp};
   // Key histograms ride along with the key writes: one per scatter lane of
   // the upcoming sort, so phase_sort can skip its counting pass entirely.
-  const std::uint32_t key_bound =
-      (ncells_ + res_cells_) * static_cast<std::uint32_t>(cfg_.sort_scale);
+  const std::uint32_t key_bound = sort_key_bound();
   key_count_lanes_ =
       key_bound <= cmdp::kDirectSortBound ? cmdp::sort_plan_lanes(*pool_, n)
                                           : 0;
@@ -441,6 +469,100 @@ void Simulation<Real>::phase_move_and_boundaries() {
       }
       const Real vx = uxp[i];
       const Real vy = uyp[i];
+      if (axi) {
+        // 1) Collisionless motion in 3D off the plane: the particle moves to
+        // (y + uy, uz) in the (r, azimuth) cross-section, then the plane is
+        // rotated back so y is the new radius and the azimuthal velocity
+        // folds into uz.  Double precision throughout — the rotation needs a
+        // sqrt either way; Fixed32 rounds once on write-back like the
+        // boundary path.
+        const double uxd = N::to_double(vx);
+        const double uyd = N::to_double(vy);
+        const double uzd = N::to_double(uzp[i]);
+        const double ry = N::to_double(yp[i]) + uyd;
+        const double rz = uzd;
+        const double rr = std::sqrt(ry * ry + rz * rz);
+        double ur = uyd;
+        double ut = uzd;
+        if (rr > 0.0) {
+          ur = (uyd * ry + uzd * rz) / rr;
+          ut = (uzd * ry - uyd * rz) / rr;
+        }
+        const Real px = xp[i] + vx;
+        const double bound = axi_disp[interior[c0]];
+        if (uxd > -bound && uxd < bound &&
+            uyd * uyd + uzd * uzd < bound * bound) {
+          // Interior fast path: |dr| <= hypot(uy, uz) < bound and |dx| <
+          // bound, so no boundary is reachable; skip enforce_boundaries.
+          xp[i] = px;
+          yp[i] = N::from_double(rr);
+          uyp[i] = N::from_double(ur);
+          uzp[i] = N::from_double(ut);
+          const int ix = static_cast<int>(N::to_double(px));
+          const int iy = static_cast<int>(rr);
+          const auto cell = static_cast<std::uint32_t>(iy * gnx + ix);
+          cellp[i] = cell;
+          if (count_strip && px < one) ++local_strip;
+          const std::uint32_t key = key_of(i, cell);
+          keysp[i] = key;
+          if (kc != nullptr) ++kc[key];
+          continue;
+        }
+        // 2) Boundary conditions on the rotated state.  The floor at r = 0
+        // is unreachable (rr >= 0 by construction); the y_max ceiling is the
+        // outer cylindrical wall and the x boundaries work as in planar
+        // mode.  Reflections happen in the plane, which is exact for a
+        // surface of revolution (its normal has no azimuthal component).
+        geom::ParticleState ps;
+        ps.x = N::to_double(px);
+        ps.y = rr;
+        ps.z = 0.0;
+        ps.ux = uxd;
+        ps.uy = ur;
+        ps.uz = ut;
+        ps.r0 = N::to_double(store_.r0[i]);
+        ps.r1 = N::to_double(store_.r1[i]);
+        const std::uint64_t bbits = need_bc_bits ? bits_for(i, kSaltBc) : 0;
+        wall_events.count = 0;
+        const bool kept = geom::enforce_boundaries(
+            ps, bc, bbits, record_surface ? &wall_events : nullptr);
+        if (record_surface && wall_events.count > 0)
+          surf_.record(tid, wall_events, weightp[i]);
+        if (kept) {
+          xp[i] = N::from_double(ps.x);
+          yp[i] = N::from_double(ps.y);
+          uxp[i] = N::from_double(ps.ux);
+          uyp[i] = N::from_double(ps.uy);
+          uzp[i] = N::from_double(ps.uz);
+          store_.r0[i] = N::from_double(ps.r0);
+          store_.r1[i] = N::from_double(ps.r1);
+          cellp[i] = grid_.index(static_cast<int>(std::floor(ps.x)),
+                                 static_cast<int>(std::floor(ps.y)), 0);
+          if (count_strip && xp[i] < one) ++local_strip;
+        } else {
+          const Velocity5 v = rectangular_freestream(
+              cfg_.sigma, u_inf_, bits_for(i, kSaltRemoveVel));
+          uxp[i] = N::from_double(v.v[0]);
+          uyp[i] = N::from_double(v.v[1]);
+          uzp[i] = N::from_double(v.v[2]);
+          store_.r0[i] = N::from_double(v.v[3]);
+          store_.r1[i] = N::from_double(v.v[4]);
+          if (cfg_.vibrational) {
+            rng::SplitMix64 gv(bits_for(i, kSaltRemoveVel) ^ 0x5151u);
+            const double sv =
+                cfg_.sigma * std::sqrt(cfg_.vib_init_temperature);
+            store_.v0[i] = N::from_double(rng::sample_rectangular(gv, sv));
+            store_.v1[i] = N::from_double(rng::sample_rectangular(gv, sv));
+          }
+          store_.flags[i] |= ParticleStore<Real>::kReservoirFlag;
+          cellp[i] = reservoir_pair_cell(i);
+          ++local_removed;
+        }
+        const std::uint32_t key = key_of(i, cellp[i]);
+        keysp[i] = key;
+        if (kc != nullptr) ++kc[key];
+        continue;
+      }
       const Real lo = disp_lo[interior[c0]];
       const Real hi = disp_hi[interior[c0]];
       if (vx > lo && vx < hi && vy > lo && vy < hi &&
@@ -556,8 +678,7 @@ void Simulation<Real>::inject_void(double width, double x_offset) {
   const std::size_t k = need < res_tail_ ? need : res_tail_;
   const double ny = grid_.ny;
   const double nz = grid_.is3d() ? grid_.nz : 0.0;
-  const std::size_t key_bound =
-      (ncells_ + res_cells_) * static_cast<std::size_t>(cfg_.sort_scale);
+  const std::size_t key_bound = sort_key_bound();
   // The move loop counted these tail particles under their reservoir keys;
   // retract those counts before the re-key below (and restore after).
   if (key_count_lanes_ != 0) {
@@ -581,6 +702,11 @@ void Simulation<Real>::inject_void(double width, double x_offset) {
         ~ParticleStore<Real>::kReservoirFlag);
     store_.cell[i] = grid_.index(static_cast<int>(x), static_cast<int>(y),
                                  static_cast<int>(z));
+    // Axisymmetric: uniform-in-r placement at the planar count gives a flat
+    // simulator census per radial cell; the per-cell annular weight makes
+    // the weighted density exactly freestream.
+    if (cfg_.axisymmetric)
+      store_.weight[i] = cell_volume_[store_.cell[i]];
     // The move loop keyed this particle as a reservoir dweller; re-key it
     // for its new flow cell.
     keys_[i] = sort_key_for(i);
@@ -618,6 +744,8 @@ void Simulation<Real>::inject_void(double width, double x_offset) {
       store_.cell.back() = grid_.index(static_cast<int>(x),
                                        static_cast<int>(y),
                                        static_cast<int>(z));
+      if (cfg_.axisymmetric)
+        store_.weight.back() = cell_volume_[store_.cell.back()];
       keys_.push_back(sort_key_for(store_.size() - 1));
     }
     counters_.synthesized += need - k;
@@ -646,12 +774,18 @@ void Simulation<Real>::soft_source_topup(std::size_t strip_count) {
 
 template <class Real>
 void Simulation<Real>::phase_sort() {
+  // Axisymmetric runs rebalance the radial weights first: splits append
+  // clones at the tail (the sort places them), merges retire their slot
+  // under the reserved past-the-end key so the scatter parks them behind
+  // the reservoir band, where they are truncated below.
+  const std::size_t dead =
+      cfg_.axisymmetric ? balance_weights(/*mark_dead_keys=*/true) : 0;
   const std::size_t n = store_.size();
   // Keys were generated during the move (and fixed up by the injection
   // paths); the sort phase starts straight at the counting pass.
   const auto scale = static_cast<std::uint32_t>(cfg_.sort_scale);
   const std::uint32_t pair_cells = ncells_ + res_cells_;
-  const std::uint32_t key_bound = pair_cells * scale;
+  const std::uint32_t key_bound = sort_key_bound();
   counts_.resize(pair_cells);
   starts_.resize(pair_cells);
   if (key_bound <= cmdp::kDirectSortBound) {
@@ -680,13 +814,163 @@ void Simulation<Real>::phase_sort() {
     order_.resize(n);
     cmdp::stable_sort_index(*pool_, keys_, key_bound, order_);
     store_.reorder(*pool_, order_, scratch_);
+    if (dead > 0) {
+      store_.resize(n - dead);
+      keys_.resize(n - dead);
+    }
     cmdp::histogram(*pool_, store_.cell, pair_cells, counts_);
     cmdp::exclusive_scan<std::uint32_t>(
         *pool_, counts_, starts_,
         [](std::uint32_t a, std::uint32_t b) { return a + b; }, 0u);
   }
+  if (dead > 0 && key_bound <= cmdp::kDirectSortBound) {
+    // Merged-away slots are now a contiguous tail behind the reservoir
+    // band; drop them.
+    store_.resize(n - dead);
+    keys_.resize(n - dead);
+  }
   res_tail_ = res_count_;
   key_count_lanes_ = 0;  // consumed
+}
+
+template <class Real>
+std::size_t Simulation<Real>::balance_weights(bool mark_dead_keys) {
+  const std::size_t n0 = store_.size();
+  const std::uint32_t ncells = ncells_;
+  cell_weight_.assign(ncells, 0.0);
+  constexpr std::uint32_t kNoPending = 0xffffffffu;
+  balance_pending_.assign(ncells, kNoPending);
+  const std::uint32_t dead_key = sort_key_bound() - 1;
+  std::size_t dead = 0;
+  std::uint64_t cloned = 0;
+  std::uint64_t merged = 0;
+  std::vector<double>& w = store_.weight;
+  // Serial walk: split/merge decisions are sequentially dependent within a
+  // cell (the pending-partner slot), and axisymmetric runs are 2D, so the
+  // O(n) pass is a small slice of the step.  Which particles merge is
+  // randomized for free by the randomized sort order of the previous step.
+  for (std::size_t i = 0; i < n0; ++i) {
+    const std::uint32_t c = store_.cell[i];
+    if (c >= ncells) continue;  // reservoir particles carry no radial weight
+    const double wi = w[i];
+    // Credit the pre-balance weight: splits and merges both conserve the
+    // cell's total, so the census is exact either way.
+    cell_weight_[c] += wi;
+    const double wt = cell_volume_[c];
+    if (wi >= 2.0 * wt) {
+      // Inward migration built up excess weight: split into k equal copies
+      // (identical state, weight wi / k) — exact in mass, momentum and
+      // energy.
+      int k = static_cast<int>(wi / wt);
+      if (k > 8) k = 8;  // churn guard against extreme inward jumps
+      const double part = wi / k;
+      w[i] = part;
+      for (int j = 1; j < k; ++j) {
+        store_.push_clone(i);
+        store_.weight.back() = part;
+        if (mark_dead_keys) keys_.push_back(sort_key_for(store_.size() - 1));
+      }
+      cloned += static_cast<std::uint64_t>(k - 1);
+    } else if (wi < 0.5 * wt) {
+      // Outward migration thinned the weight: merge pairs within the cell.
+      // The mass-weighted velocity average conserves mass and momentum
+      // exactly; the kinetic energy released by averaging moves into the
+      // rotational DOF (collisions relax it back), so total energy is exact
+      // too — unlike plain Russian-roulette destruction, which conserves
+      // only in expectation.
+      std::uint32_t& pending = balance_pending_[c];
+      if (pending == kNoPending) {
+        pending = static_cast<std::uint32_t>(i);
+        continue;
+      }
+      const std::size_t j = pending;
+      const double wj = w[j];
+      const double ws = wi + wj;
+      const double uxi = N::to_double(store_.ux[i]);
+      const double uyi = N::to_double(store_.uy[i]);
+      const double uzi = N::to_double(store_.uz[i]);
+      const double uxj = N::to_double(store_.ux[j]);
+      const double uyj = N::to_double(store_.uy[j]);
+      const double uzj = N::to_double(store_.uz[j]);
+      const double mx = (wi * uxi + wj * uxj) / ws;
+      const double my = (wi * uyi + wj * uyj) / ws;
+      const double mz = (wi * uzi + wj * uzj) / ws;
+      const double dx = uxi - uxj;
+      const double dy = uyi - uyj;
+      const double dz = uzi - uzj;
+      const double de = 0.5 * (wi * wj / ws) * (dx * dx + dy * dy + dz * dz);
+      const double r0i = N::to_double(store_.r0[i]);
+      const double r1i = N::to_double(store_.r1[i]);
+      const double r0j = N::to_double(store_.r0[j]);
+      const double r1j = N::to_double(store_.r1[j]);
+      const double erot = 0.5 * (wi * (r0i * r0i + r1i * r1i) +
+                                 wj * (r0j * r0j + r1j * r1j)) +
+                          de;
+      const double rs2 = 2.0 * erot / ws;  // target rotational speed^2
+      double nr0;
+      double nr1;
+      const double base = r0j * r0j + r1j * r1j;
+      if (base > 0.0) {
+        const double s = std::sqrt(rs2 / base);
+        nr0 = r0j * s;
+        nr1 = r1j * s;
+      } else {
+        nr0 = std::sqrt(rs2);
+        nr1 = 0.0;
+      }
+      store_.ux[j] = N::from_double(mx);
+      store_.uy[j] = N::from_double(my);
+      store_.uz[j] = N::from_double(mz);
+      store_.r0[j] = N::from_double(nr0);
+      store_.r1[j] = N::from_double(nr1);
+      if (store_.has_vib) {
+        const double v0i = N::to_double(store_.v0[i]);
+        const double v1i = N::to_double(store_.v1[i]);
+        const double v0j = N::to_double(store_.v0[j]);
+        const double v1j = N::to_double(store_.v1[j]);
+        const double evib = 0.5 * (wi * (v0i * v0i + v1i * v1i) +
+                                   wj * (v0j * v0j + v1j * v1j));
+        const double vs2 = 2.0 * evib / ws;
+        const double vbase = v0j * v0j + v1j * v1j;
+        if (vbase > 0.0) {
+          const double s = std::sqrt(vs2 / vbase);
+          store_.v0[j] = N::from_double(v0j * s);
+          store_.v1[j] = N::from_double(v1j * s);
+        } else {
+          store_.v0[j] = N::from_double(std::sqrt(vs2));
+          store_.v1[j] = N::from_double(0.0);
+        }
+      }
+      w[j] = ws;
+      w[i] = 0.0;
+      if (mark_dead_keys) keys_[i] = dead_key;
+      ++dead;
+      ++merged;
+      // A still-light merged particle keeps waiting for the next partner.
+      pending = ws < 0.5 * wt ? static_cast<std::uint32_t>(j) : kNoPending;
+    }
+  }
+  counters_.cloned += cloned;
+  counters_.merged += merged;
+  // Appends and re-keys invalidate the fused per-lane key histograms.
+  if (cloned != 0 || merged != 0) key_count_lanes_ = 0;
+  return dead;
+}
+
+template <class Real>
+void Simulation<Real>::debug_rebalance() {
+  if (!cfg_.axisymmetric) return;
+  const std::size_t dead = balance_weights(/*mark_dead_keys=*/false);
+  if (dead == 0) return;
+  // Stable in-place compaction of the merged-away (weight 0) flow slots.
+  const std::size_t n = store_.size();
+  std::size_t dst = 0;
+  for (std::size_t src = 0; src < n; ++src) {
+    if (store_.cell[src] < ncells_ && store_.weight[src] == 0.0) continue;
+    if (dst != src) store_.copy_record(dst, src);
+    ++dst;
+  }
+  store_.resize(dst);
 }
 
 template <class Real>
@@ -723,6 +1007,21 @@ void Simulation<Real>::phase_select_and_collide() {
   const std::uint32_t* const countsp = counts_.data();
   const std::uint32_t* const startsp = starts_.data();
   const double* const openp = open_frac_.data();
+  // Axisymmetric: the collision density is the weighted census over the
+  // annular cell volume (both in the same pi-free units, so it reduces to
+  // the planar count/open when every weight sits at the cell target).
+  const double* const cellwp =
+      cfg_.axisymmetric ? cell_weight_.data() : nullptr;
+  const double* const volp = cfg_.axisymmetric ? cell_volume_.data() : nullptr;
+  // Unequal-weight pairs use Boyd's species-weighting rule: the lighter
+  // particle always takes its post-collision state, the heavier keeps its
+  // old state with probability 1 - w_min/w_max.  Without this, collisions
+  // systematically hand the outward-biased velocities of light (outward-
+  // migrated) particles to heavy partners — a spurious radial mass flux
+  // that visibly drains the axis.  Conserves weighted momentum and energy
+  // in expectation (exact conservation is restored cell-wise by the
+  // split/merge balancing).
+  const double* const axiw = cfg_.axisymmetric ? store_.weight.data() : nullptr;
   std::atomic<std::uint64_t> candidates{0};
   std::atomic<std::uint64_t> collided{0};
   std::atomic<std::uint64_t> res_collided{0};
@@ -746,7 +1045,9 @@ void Simulation<Real>::phase_select_and_collide() {
         if (!res_collide) continue;
       } else {
         const double open = openp[c] > 0.05 ? openp[c] : 0.05;
-        n_local = static_cast<double>(cnt) / open;
+        n_local = cellwp != nullptr
+                      ? cellwp[c] / (open * volp[c])
+                      : static_cast<double>(cnt) / open;
         if (!need_g) {
           p_cell = rule_.probability(n_local, 0.0);
           if (p_cell <= 0.0) continue;
@@ -796,16 +1097,37 @@ void Simulation<Real>::phase_select_and_collide() {
           physics::collide_pair_truncating(pv, perm, bits);
         else
           physics::collide_pair(pv, perm, bits);
-        uxp[i] = pv.a[0];
-        uyp[i] = pv.a[1];
-        uzp[i] = pv.a[2];
-        s0[i] = pv.a[3];
-        s1[i] = pv.a[4];
-        uxp[i + 1] = pv.b[0];
-        uyp[i + 1] = pv.b[1];
-        uzp[i + 1] = pv.b[2];
-        s0[i + 1] = pv.b[3];
-        s1[i + 1] = pv.b[4];
+        bool write_a = true;
+        bool write_b = true;
+        if (axiw != nullptr && !is_res) {
+          const double wa = axiw[i];
+          const double wb = axiw[i + 1];
+          if (wa != wb) {
+            const double ratio = wa < wb ? wa / wb : wb / wa;
+            const double u =
+                rng::u64_to_unit_double(bits_for(i, kSaltWeightKeep));
+            if (u >= ratio) {
+              if (wa < wb)
+                write_b = false;
+              else
+                write_a = false;
+            }
+          }
+        }
+        if (write_a) {
+          uxp[i] = pv.a[0];
+          uyp[i] = pv.a[1];
+          uzp[i] = pv.a[2];
+          s0[i] = pv.a[3];
+          s1[i] = pv.a[4];
+        }
+        if (write_b) {
+          uxp[i + 1] = pv.b[0];
+          uyp[i + 1] = pv.b[1];
+          uzp[i + 1] = pv.b[2];
+          s0[i + 1] = pv.b[3];
+          s1[i + 1] = pv.b[4];
+        }
         // Refresh both permutation vectors by random transpositions.
         if (ntrans > 0) {
           std::uint64_t ta = dirty ? dirty_state_bits(i)
@@ -852,7 +1174,8 @@ void Simulation<Real>::phase_select_and_collide() {
 
 template <class Real>
 void Simulation<Real>::phase_sample() {
-  sampler_.accumulate(*pool_, store_, flow_count());
+  sampler_.accumulate(*pool_, store_, flow_count(),
+                      cfg_.axisymmetric ? store_.weight.data() : nullptr);
 }
 
 template <class Real>
@@ -886,6 +1209,8 @@ std::uint64_t Simulation<Real>::geometry_hash() const {
   h = geom::fnv1a_hash(h, static_cast<std::uint64_t>(cfg_.upstream));
   h = geom::fnv1a_hash(h, std::bit_cast<std::uint64_t>(cfg_.plunger_trigger));
   h = geom::fnv1a_hash(h, cfg_.vibrational ? 1u : 0u);
+  // Folded in only when set so every pre-existing planar hash is unchanged.
+  if (cfg_.axisymmetric) h = geom::fnv1a_hash(h, 0xA715FEEDull);
   return h;
 }
 
@@ -908,7 +1233,8 @@ typename Simulation<Real>::ResumeState Simulation<Real>::resume_state()
 template <class Real>
 void Simulation<Real>::restore(ParticleStore<Real> store,
                                const ResumeState& state) {
-  if (store.has_z != cfg_.is3d() || store.has_vib != cfg_.vibrational)
+  if (store.has_z != cfg_.is3d() || store.has_vib != cfg_.vibrational ||
+      store.has_weight != cfg_.axisymmetric)
     throw std::invalid_argument(
         "Simulation::restore: store layout does not match the configuration");
   if (state.res_count > store.size() || state.res_tail > state.res_count)
@@ -962,6 +1288,54 @@ double Simulation<Real>::flow_energy() const {
     const double w0 = N::to_double(store_.r0[i]);
     const double w1 = N::to_double(store_.r1[i]);
     return 0.5 * (vx * vx + vy * vy + vz * vz + w0 * w0 + w1 * w1);
+  });
+}
+
+template <class Real>
+double Simulation<Real>::flow_weighted_mass() const {
+  const bool wts = store_.has_weight;
+  return cmdp::parallel_sum<double>(*pool_, store_.size(), [&](std::size_t i) {
+    if (store_.flags[i] & ParticleStore<Real>::kReservoirFlag) return 0.0;
+    return wts ? store_.weight[i] : 1.0;
+  });
+}
+
+template <class Real>
+std::array<double, 3> Simulation<Real>::flow_weighted_momentum() const {
+  using A = std::array<double, 3>;
+  const bool wts = store_.has_weight;
+  return cmdp::parallel_reduce<A>(
+      *pool_, store_.size(), A{0.0, 0.0, 0.0},
+      [&](std::size_t i) {
+        if (store_.flags[i] & ParticleStore<Real>::kReservoirFlag)
+          return A{0.0, 0.0, 0.0};
+        const double w = wts ? store_.weight[i] : 1.0;
+        return A{w * N::to_double(store_.ux[i]),
+                 w * N::to_double(store_.uy[i]),
+                 w * N::to_double(store_.uz[i])};
+      },
+      [](const A& a, const A& b) {
+        return A{a[0] + b[0], a[1] + b[1], a[2] + b[2]};
+      });
+}
+
+template <class Real>
+double Simulation<Real>::flow_weighted_energy() const {
+  const bool wts = store_.has_weight;
+  return cmdp::parallel_sum<double>(*pool_, store_.size(), [&](std::size_t i) {
+    if (store_.flags[i] & ParticleStore<Real>::kReservoirFlag) return 0.0;
+    const double vx = N::to_double(store_.ux[i]);
+    const double vy = N::to_double(store_.uy[i]);
+    const double vz = N::to_double(store_.uz[i]);
+    const double w0 = N::to_double(store_.r0[i]);
+    const double w1 = N::to_double(store_.r1[i]);
+    double e = 0.5 * (vx * vx + vy * vy + vz * vz + w0 * w0 + w1 * w1);
+    if (store_.has_vib) {
+      const double q0 = N::to_double(store_.v0[i]);
+      const double q1 = N::to_double(store_.v1[i]);
+      e += 0.5 * (q0 * q0 + q1 * q1);
+    }
+    return (wts ? store_.weight[i] : 1.0) * e;
   });
 }
 

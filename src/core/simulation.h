@@ -48,6 +48,11 @@ struct SimCounters {
   std::uint64_t injected = 0;     // particles injected from the reservoir
   std::uint64_t synthesized = 0;  // fallback Gaussian injections (reservoir
                                   // was empty); 0 in a healthy run
+  // Axisymmetric weight balancing: simulators created by splitting a heavy
+  // particle and simulators absorbed by merging two light ones (both 0 in
+  // planar runs).
+  std::uint64_t cloned = 0;
+  std::uint64_t merged = 0;
 };
 
 template <class Real>
@@ -100,6 +105,10 @@ class Simulation {
     return scene_.empty() ? nullptr : &scene_.body(0);
   }
   const std::vector<double>& open_fraction() const { return open_frac_; }
+  // Per-cell volumes in axisymmetric runs (annulus 2*iy + 1, in units of
+  // pi); empty for planar runs (unit cells).  Also the per-particle target
+  // weight of each cell.
+  const std::vector<double>& cell_volume() const { return cell_volume_; }
   // Per-cell "no boundary reachable" mask driving the move fast path.
   const std::vector<std::uint8_t>& interior_mask() const {
     return interior_mask_;
@@ -126,6 +135,18 @@ class Simulation {
   std::array<double, 3> total_momentum() const;
   // Same restricted to flow particles.
   double flow_energy() const;
+  // Weighted moments of the flow (axisymmetric runs; weights are 1 in
+  // planar runs): sum of w, w*v and w*(0.5 |v|^2 + e_int) over flow
+  // particles — the quantities the weight-balancing pass conserves exactly.
+  double flow_weighted_mass() const;
+  std::array<double, 3> flow_weighted_momentum() const;
+  double flow_weighted_energy() const;
+
+  // Test hook: runs the axisymmetric weight-balancing pass (split/merge
+  // against each cell's target weight) outside the step pipeline and
+  // compacts the merged-away slots immediately, preserving order.  No-op in
+  // planar runs.  Counters `cloned` / `merged` record the actions.
+  void debug_rebalance();
 
   // --- Checkpoint/restart support (core/checkpoint.*) ---
   // Everything beyond the particle store a resumed run needs to reproduce
@@ -163,6 +184,18 @@ class Simulation {
   // move loop (the standalone O(n) counting pass is gone).
   void soft_source_topup(std::size_t strip_count);
   void phase_sort();
+  // Axisymmetric weight balancing (called from phase_sort, before the
+  // counting plan): splits particles heavier than twice their cell's target
+  // weight into equal copies (appended at the tail; the sort places them)
+  // and merges pairs of particles lighter than half the target within the
+  // same cell (mass- and momentum-conserving velocity average, the lost
+  // relative kinetic energy folded into the rotational DOF so total energy
+  // is exact too).  Merged-away slots get `mark_dead_keys` ? a past-the-end
+  // sort key (the scatter moves them behind the reservoir band where
+  // phase_sort truncates them) : weight 0 only (debug_rebalance compacts).
+  // Also accumulates the per-cell weighted census cell_weight_ the collision
+  // phase divides by the annular volume.  Returns the merged-away count.
+  std::size_t balance_weights(bool mark_dead_keys);
   // One fused traversal: candidate pairing + acceptance + collision.  Pairs
   // are disjoint, so fusing is bit-identical to the historical two-pass
   // select-then-collide while skipping the accept-flag round trip.
@@ -185,6 +218,14 @@ class Simulation {
   std::uint32_t key_from(const KeyParams& kp, std::size_t i,
                          std::uint32_t cell) const;
   std::uint32_t sort_key_for(std::size_t i) const;
+  // Sort key space: pair cells * sort_scale, plus one reserved past-the-end
+  // key value in axisymmetric runs for merged-away slots (they sort behind
+  // the reservoir band and are truncated after the scatter).
+  std::uint32_t sort_key_bound() const {
+    return (ncells_ + res_cells_) *
+               static_cast<std::uint32_t>(cfg_.sort_scale) +
+           (cfg_.axisymmetric ? 1u : 0u);
+  }
   std::uint64_t bits_for(std::uint64_t i, std::uint64_t salt) const {
     // seed_round_ caches hash4's seed-only first round (bit-identical).
     return rng::hash4_seeded(seed_round_, i, static_cast<std::uint64_t>(step_),
@@ -202,6 +243,11 @@ class Simulation {
   std::optional<geom::Wedge> wedge_;
   geom::Scene scene_;  // all bodies (cfg.body first, then cfg.bodies)
   std::vector<double> open_frac_;
+  // Axisymmetric per-cell annular volumes (empty when planar) and the
+  // per-step weighted per-cell census feeding the collision density.
+  std::vector<double> cell_volume_;
+  std::vector<double> cell_weight_;
+  std::vector<std::uint32_t> balance_pending_;  // per-cell merge candidate
   std::vector<std::uint8_t> interior_mask_;
   physics::SelectionRule rule_;
   std::uint64_t seed_round_ = 0;  // hash4_seed_round(cfg_.seed)

@@ -1,16 +1,29 @@
 #include "core/surface_sampling.h"
 
 #include <algorithm>
+#include <cmath>
 #include <stdexcept>
 
 namespace cmdsmc::core {
 
 namespace {
 
+// Frontal area of a revolved body in the pi-dropped units: r_max^2 (the true
+// frontal disc is pi * r_max^2; the pi cancels against the radial weights).
+double revolved_ref_area(const geom::Body& body) {
+  const double r = std::max(std::abs(body.ymin()), std::abs(body.ymax()));
+  return r * r;
+}
+
 // Coefficient pass shared by every finalize flavor: normalizes the raw
 // fluxes against the freestream and references the force integrals to
-// q_inf * chord.
-void finish(SurfaceStats& out, double chord, double rho_inf, double u_inf) {
+// q_inf * chord (planar: per unit span; axisymmetric: q_inf * frontal
+// area).  A revolved body has identically zero net lateral force — the
+// in-plane radial components cancel azimuthally — so axisymmetric Cl is 0
+// by symmetry (fy keeps the raw half-profile radial integral as a
+// diagnostic).
+void finish(SurfaceStats& out, double chord, double rho_inf, double u_inf,
+            bool axisymmetric = false) {
   const double e_ref = 0.5 * rho_inf * u_inf * u_inf * u_inf;
   if (out.q_inf > 0.0) {
     for (SurfaceSegmentStats& s : out.segments) {
@@ -20,15 +33,19 @@ void finish(SurfaceStats& out, double chord, double rho_inf, double u_inf) {
     }
     if (chord > 0.0) {
       out.cd = out.fx / (out.q_inf * chord);
-      out.cl = out.fy / (out.q_inf * chord);
+      out.cl = axisymmetric ? 0.0 : out.fy / (out.q_inf * chord);
     }
   }
 }
 
 }  // namespace
 
-SurfaceSampler::SurfaceSampler(int nsegments, unsigned lanes, double span)
-    : nseg_(nsegments), lanes_(lanes), span_(span > 0.0 ? span : 1.0) {
+SurfaceSampler::SurfaceSampler(int nsegments, unsigned lanes, double span,
+                               bool axisymmetric)
+    : nseg_(nsegments),
+      lanes_(lanes),
+      span_(span > 0.0 ? span : 1.0),
+      axisymmetric_(axisymmetric) {
   if (nsegments < 0)
     throw std::invalid_argument("SurfaceSampler: negative segment count");
   if (lanes == 0) lanes_ = 1;
@@ -43,6 +60,13 @@ void SurfaceSampler::reset() {
 }
 
 void SurfaceSampler::record(unsigned lane, const geom::WallEventBuffer& ev) {
+  // Multiplication by 1.0 is exact for every finite double, so delegating
+  // keeps the planar accumulation bit-identical.
+  record(lane, ev, 1.0);
+}
+
+void SurfaceSampler::record(unsigned lane, const geom::WallEventBuffer& ev,
+                            double weight) {
   if (lane >= lanes_) lane = lanes_ - 1;
   double* s = lane_sums_.data() +
               static_cast<std::size_t>(lane) * nseg_ * kMoments;
@@ -50,14 +74,14 @@ void SurfaceSampler::record(unsigned lane, const geom::WallEventBuffer& ev) {
     const geom::WallEvent& e = ev.events[k];
     if (e.segment < 0 || e.segment >= nseg_) continue;
     double* m = s + static_cast<std::size_t>(e.segment) * kMoments;
-    m[0] += 1.0;
-    m[1] += e.dpx;
-    m[2] += e.dpy;
-    m[3] += e.de;
-    m[4] += e.p_in;
-    m[5] += e.p_out;
-    m[6] += e.e_in;
-    m[7] += e.e_out;
+    m[0] += weight;
+    m[1] += weight * e.dpx;
+    m[2] += weight * e.dpy;
+    m[3] += weight * e.de;
+    m[4] += weight * e.p_in;
+    m[5] += weight * e.p_out;
+    m[6] += weight * e.e_in;
+    m[7] += weight * e.e_out;
   }
 }
 
@@ -103,7 +127,22 @@ void SurfaceSampler::accumulate_body(const geom::Body& body, int body_index,
     s.body = body_index;
     const double* m =
         sums_.data() + static_cast<std::size_t>(seg_begin + i) * kMoments;
-    const double area = seg.length * span_;
+    // Axisymmetric segments are generators of revolved frustums: lateral
+    // area pi * (r0 + r1) * slant == (r0 + r1) * length in the pi-dropped
+    // units the radial weights use.  A segment *crossing* the axis
+    // generates two cones sharing an apex at the crossing point; their
+    // combined area is (r0^2 + r1^2) * length / (r0 + r1) — using the
+    // frustum formula there would overstate the area up to ~2x and bias
+    // the per-area fluxes low.  Segments at (or mirrored below) the axis
+    // keep a small floor so zero-flux faces divide cleanly.
+    double area = seg.length * span_;
+    if (axisymmetric_) {
+      const double ra = std::abs(seg.y0);
+      const double rb = std::abs(seg.y1);
+      const double sum = std::max(ra + rb, 1e-9);
+      area = (seg.y0 * seg.y1 < 0.0 ? (ra * ra + rb * rb) / sum : sum) *
+             seg.length;
+    }
     s.hits_per_step = m[0] / steps;
     // dp is the momentum handed to the wall; its component along the outward
     // normal is negative for a compressing stream, so pressure (force per
@@ -137,7 +176,8 @@ SurfaceStats SurfaceSampler::finalize(const geom::Body& body, double rho_inf,
   if (nseg_ == 0) return out;
   out.segments.reserve(static_cast<std::size_t>(nseg_));
   accumulate_body(body, 0, 0, out);
-  finish(out, body.chord(), rho_inf, u_inf);
+  finish(out, axisymmetric_ ? revolved_ref_area(body) : body.chord(),
+         rho_inf, u_inf, axisymmetric_);
   return out;
 }
 
@@ -162,9 +202,10 @@ SurfaceStats SurfaceSampler::finalize(const geom::Scene& scene,
   double chord_total = 0.0;
   for (int b = 0; b < scene.body_count(); ++b) {
     accumulate_body(scene.body(b), b, scene.segment_base(b), out);
-    chord_total += scene.body(b).chord();
+    chord_total += axisymmetric_ ? revolved_ref_area(scene.body(b))
+                                 : scene.body(b).chord();
   }
-  finish(out, chord_total, rho_inf, u_inf);
+  finish(out, chord_total, rho_inf, u_inf, axisymmetric_);
   return out;
 }
 
@@ -187,7 +228,8 @@ std::vector<SurfaceStats> SurfaceSampler::finalize_per_body(
     s.body_name = body.name();
     s.segments.reserve(static_cast<std::size_t>(body.segment_count()));
     accumulate_body(body, b, scene.segment_base(b), s);
-    finish(s, body.chord(), rho_inf, u_inf);
+    finish(s, axisymmetric_ ? revolved_ref_area(body) : body.chord(),
+           rho_inf, u_inf, axisymmetric_);
     out.push_back(std::move(s));
   }
   return out;

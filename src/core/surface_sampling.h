@@ -81,8 +81,14 @@ struct SurfaceStats {
 class SurfaceSampler {
  public:
   SurfaceSampler() = default;
-  // `span` is the z-extent of the prism extrusion (1 for 2D runs).
-  SurfaceSampler(int nsegments, unsigned lanes, double span);
+  // `span` is the z-extent of the prism extrusion (1 for 2D runs).  With
+  // `axisymmetric` set, each segment is the generator of a revolved frustum:
+  // fluxes are per revolved area 2 * r_mid * length (in units of pi, the
+  // same convention the radial particle weights use, so the pi cancels) and
+  // force coefficients are referenced to the body's frontal area r_max^2
+  // (i.e. the true pi * r_max^2 in the same units).
+  SurfaceSampler(int nsegments, unsigned lanes, double span,
+                 bool axisymmetric = false);
 
   bool active() const { return nseg_ > 0; }
   int samples() const { return samples_; }
@@ -91,8 +97,12 @@ class SurfaceSampler {
   void reset();
 
   // Called from worker lane `lane` for one particle's wall events
-  // (WallEvent::segment is the scene-wide flat segment index).
+  // (WallEvent::segment is the scene-wide flat segment index).  The weighted
+  // overload scales every increment by the particle's statistical weight
+  // (axisymmetric radial weighting).
   void record(unsigned lane, const geom::WallEventBuffer& events);
+  void record(unsigned lane, const geom::WallEventBuffer& events,
+              double weight);
 
   // Marks the end of one sampled time step: reduces the lane slices into
   // the persistent accumulator.
@@ -135,6 +145,7 @@ class SurfaceSampler {
   int nseg_ = 0;
   unsigned lanes_ = 0;
   double span_ = 1.0;
+  bool axisymmetric_ = false;
   int samples_ = 0;
   std::vector<double> sums_;       // nseg * kMoments, lane-reduced
   std::vector<double> lane_sums_;  // lanes * nseg * kMoments (per-step)

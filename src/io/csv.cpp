@@ -33,8 +33,9 @@ void CsvTable::write_file(const std::string& path) const {
 
 void write_field_csv(std::ostream& os, const core::FieldStats& f,
                      const std::vector<double>& field,
-                     const std::string& value_name, int z_plane) {
-  os << "x,y," << value_name << "\n";
+                     const std::string& value_name, int z_plane,
+                     const std::string& y_name) {
+  os << "x," << y_name << "," << value_name << "\n";
   for (int iy = 0; iy < f.grid.ny; ++iy)
     for (int ix = 0; ix < f.grid.nx; ++ix)
       os << ix + 0.5 << "," << iy + 0.5 << ","
@@ -43,10 +44,11 @@ void write_field_csv(std::ostream& os, const core::FieldStats& f,
 
 void write_field_csv_file(const std::string& path, const core::FieldStats& f,
                           const std::vector<double>& field,
-                          const std::string& value_name, int z_plane) {
+                          const std::string& value_name, int z_plane,
+                          const std::string& y_name) {
   std::ofstream os(path);
   if (!os) throw std::runtime_error("write_field_csv: cannot open " + path);
-  write_field_csv(os, f, field, value_name, z_plane);
+  write_field_csv(os, f, field, value_name, z_plane, y_name);
 }
 
 }  // namespace cmdsmc::io

@@ -28,13 +28,16 @@ class CsvTable {
 };
 
 // Dumps a cell field as rows (x, y[, z], value).  2D fields use the k=0
-// plane of 3D grids unless `z_plane` selects another.
+// plane of 3D grids unless `z_plane` selects another.  `y_name` labels the
+// transverse column ("r" for axisymmetric z-r fields).
 void write_field_csv(std::ostream& os, const core::FieldStats& f,
                      const std::vector<double>& field,
-                     const std::string& value_name, int z_plane = 0);
+                     const std::string& value_name, int z_plane = 0,
+                     const std::string& y_name = "y");
 
 void write_field_csv_file(const std::string& path, const core::FieldStats& f,
                           const std::vector<double>& field,
-                          const std::string& value_name, int z_plane = 0);
+                          const std::string& value_name, int z_plane = 0,
+                          const std::string& y_name = "y");
 
 }  // namespace cmdsmc::io

@@ -65,12 +65,17 @@ double RunResult::cp_max() const {
 // --- Sinks -------------------------------------------------------------------
 
 void FieldCsvSink::write(const RunResult& r) {
+  // Axisymmetric runs label the transverse axis as radius.
+  const char* y = r.config.axisymmetric ? "r" : "y";
   io::write_field_csv_file(prefix_ + "_density.csv", r.field, r.field.density,
-                           "rho");
+                           "rho", 0, y);
   io::write_field_csv_file(prefix_ + "_t_total.csv", r.field, r.field.t_total,
-                           "T");
-  io::write_field_csv_file(prefix_ + "_ux.csv", r.field, r.field.ux, "ux");
-  io::write_field_csv_file(prefix_ + "_uy.csv", r.field, r.field.uy, "uy");
+                           "T", 0, y);
+  io::write_field_csv_file(prefix_ + "_ux.csv", r.field, r.field.ux, "ux", 0,
+                           y);
+  io::write_field_csv_file(prefix_ + "_uy.csv", r.field,
+                           r.field.uy, r.config.axisymmetric ? "ur" : "uy", 0,
+                           y);
 }
 
 void SurfaceCsvSink::write(const RunResult& r) {
@@ -84,7 +89,10 @@ void SurfaceCsvSink::write(const RunResult& r) {
 }
 
 void VtkSink::write(const RunResult& r) {
-  io::write_vtk(prefix_ + ".vtk", r.field, r.scenario);
+  io::write_vtk(prefix_ + ".vtk", r.field,
+                r.config.axisymmetric
+                    ? r.scenario + " (axisymmetric z-r; the y axis is radius)"
+                    : r.scenario);
 }
 
 void AsciiContourSink::write(const RunResult& r) {
@@ -101,11 +109,12 @@ void ConsoleReportSink::write(const RunResult& r) {
   char line[256];
 
   std::snprintf(line, sizeof line,
-                "%s: %s precision, grid %dx%d%s, Mach %.2f, lambda_inf %g\n",
+                "%s: %s precision, grid %dx%d%s%s, Mach %.2f, lambda_inf %g\n",
                 r.scenario.c_str(), precision_name(r.precision), r.config.nx,
                 r.config.ny,
                 r.config.is3d() ? ("x" + std::to_string(r.config.nz)).c_str()
                                 : "",
+                r.config.axisymmetric ? " axisymmetric (z-r)" : "",
                 r.config.mach, r.config.lambda_inf);
   buf << line;
   std::snprintf(line, sizeof line,
@@ -125,6 +134,13 @@ void ConsoleReportSink::write(const RunResult& r) {
                     r.counters.reservoir_collisions),
                 static_cast<unsigned long long>(r.counters.candidates));
   buf << line;
+  if (r.config.axisymmetric) {
+    std::snprintf(line, sizeof line,
+                  "weight balance: %llu cloned + %llu merged simulators\n",
+                  static_cast<unsigned long long>(r.counters.cloned),
+                  static_cast<unsigned long long>(r.counters.merged));
+    buf << line;
+  }
 
   // Shock metrics for 2D wedge scenarios (legacy or Body::Wedge: the wedge
   // outline comes from the config either way).
@@ -211,6 +227,8 @@ std::string JsonSummarySink::to_json(const RunResult& r) {
   os << "\",\n  \"precision\": \"" << precision_name(r.precision) << "\",\n";
   os << "  \"grid\": {\"nx\": " << r.config.nx << ", \"ny\": " << r.config.ny
      << ", \"nz\": " << r.config.nz << "},\n";
+  os << "  \"axisymmetric\": " << (r.config.axisymmetric ? "true" : "false")
+     << ",\n";
   os << "  \"mach\": " << r.config.mach
      << ",\n  \"sigma\": " << r.config.sigma
      << ",\n  \"lambda_inf\": " << r.config.lambda_inf
@@ -228,7 +246,9 @@ std::string JsonSummarySink::to_json(const RunResult& r) {
      << ", \"reservoir_collisions\": " << r.counters.reservoir_collisions
      << ", \"removed\": " << r.counters.removed
      << ", \"injected\": " << r.counters.injected
-     << ", \"synthesized\": " << r.counters.synthesized << "},\n";
+     << ", \"synthesized\": " << r.counters.synthesized
+     << ", \"cloned\": " << r.counters.cloned
+     << ", \"merged\": " << r.counters.merged << "},\n";
   os << "  \"phase_seconds\": {\"move\": " << r.phase_seconds[0]
      << ", \"sort\": " << r.phase_seconds[1]
      << ", \"select\": " << r.phase_seconds[2]

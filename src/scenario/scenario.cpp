@@ -184,6 +184,10 @@ const std::vector<OverrideEntry>& override_table() {
       {"nx", "grid cells in x", set_int(&core::SimConfig::nx)},
       {"ny", "grid cells in y", set_int(&core::SimConfig::ny)},
       {"nz", "grid cells in z (0 = 2D)", set_int(&core::SimConfig::nz)},
+      {"axisymmetric",
+       "axisymmetric (z-r) mode: y is radius, radially weighted particles "
+       "(2D only, generalized bodies centred on r=0)",
+       set_bool(&core::SimConfig::axisymmetric)},
       // --- Freestream ---
       {"mach", "freestream Mach number", set_double(&core::SimConfig::mach)},
       {"sigma", "freestream thermal std dev (cells/step)",
@@ -547,6 +551,65 @@ std::vector<ScenarioSpec> make_registry() {
     }
     s.bodies[0].x0 = 36.0;
     s.bodies[1].x0 = 92.0;
+    s.schedule.steady_steps = 400;
+    s.schedule.avg_steps = 400;
+    s.sinks = {"ascii", "report", "json", "surface_csv"};
+    s.contour_vmax = 6.0;
+    reg.push_back(s);
+  }
+  {
+    ScenarioSpec s;
+    s.name = "biconic_axi";
+    s.description =
+        "Axisymmetric Mach 6 rarefied flow over a biconic body of "
+        "revolution (25/10 degree cones on the r=0 axis): radially "
+        "weighted particles, true revolved-body Cd and heat flux";
+    s.config.axisymmetric = true;
+    s.config.nx = 120;
+    s.config.ny = 48;
+    s.config.mach = 6.0;
+    s.config.sigma = 0.12;
+    s.config.lambda_inf = 0.5;
+    s.config.particles_per_cell = 8.0;
+    s.config.has_wedge = false;
+    s.config.seed = 0xA71B1CULL;
+    s.bodies[0].kind = BodyKind::kBiconic;
+    s.bodies[0].x0 = 30.0;
+    s.bodies[0].y0 = 0.0;  // nose on the symmetry axis
+    s.bodies[0].len1 = 20.0;
+    s.bodies[0].angle1_deg = 25.0;
+    s.bodies[0].len2 = 15.0;
+    s.bodies[0].angle2_deg = 10.0;
+    s.bodies[0].wall = geom::WallModel::kDiffuseIsothermal;
+    s.schedule.steady_steps = 400;
+    s.schedule.avg_steps = 400;
+    s.sinks = {"ascii", "report", "json", "surface_csv"};
+    s.contour_vmax = 6.0;
+    reg.push_back(s);
+  }
+  {
+    ScenarioSpec s;
+    s.name = "sphere_axi";
+    s.description =
+        "Axisymmetric Mach 6 rarefied flow over a sphere (faceted circle "
+        "on the r=0 axis revolved): the canonical free-molecular-drag "
+        "validation body";
+    s.config.axisymmetric = true;
+    s.config.nx = 80;
+    s.config.ny = 32;
+    s.config.mach = 6.0;
+    s.config.sigma = 0.12;
+    s.config.lambda_inf = 0.5;
+    s.config.particles_per_cell = 8.0;
+    s.config.has_wedge = false;
+    s.config.seed = 0x5fe3a1ULL;
+    s.bodies[0].kind = BodyKind::kCylinder;  // circle about r=0 -> sphere
+    s.bodies[0].x0 = 28.0;
+    s.bodies[0].y0 = 0.0;
+    s.bodies[0].radius = 8.0;
+    s.bodies[0].facets = 36;
+    s.bodies[0].wall = geom::WallModel::kDiffuseIsothermal;
+    s.bodies[0].wall_temperature_ratio = 1.0;
     s.schedule.steady_steps = 400;
     s.schedule.avg_steps = 400;
     s.sinks = {"ascii", "report", "json", "surface_csv"};

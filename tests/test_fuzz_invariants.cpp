@@ -207,6 +207,135 @@ TEST(SimulationFuzz, NoParticleEndsInsideAnyBodyOfAMultiBodyScene) {
   }
 }
 
+TEST(SimulationFuzz, WeightBalancingConservesMassMomentumEnergyAnySeed) {
+  // The axisymmetric split/merge pass must conserve the weighted moments
+  // *exactly* (not just in expectation, the way Russian-roulette destruction
+  // would): splits are identical copies, merges average velocities with the
+  // lost relative kinetic energy folded into rotation.  Scramble the weights
+  // with arbitrary factors and rebalance — for any seed the weighted mass,
+  // momentum and energy must come back unchanged.
+  for (std::uint64_t seed : {1ull, 99ull, 0xDEADull, 31415926ull, 777777ull}) {
+    core::SimConfig cfg;
+    cfg.nx = 24;
+    cfg.ny = 16;
+    cfg.has_wedge = false;
+    cfg.axisymmetric = true;
+    cfg.mach = 4.0;
+    cfg.sigma = 0.12;
+    cfg.particles_per_cell = 8.0;
+    cfg.reservoir_fraction = 0.2;
+    cfg.seed = seed;
+    cmdp::ThreadPool pool(2);
+    core::SimulationD sim(cfg, &pool);
+    sim.run(5);
+    auto& s = sim.particles();
+    cmdsmc::rng::SplitMix64 g(seed ^ 0xBA1A4CEull);
+    for (std::size_t i = 0; i < s.size(); ++i) {
+      if (s.flags[i] & core::ParticleStore<double>::kReservoirFlag) continue;
+      s.weight[i] *= 0.1 + 7.9 * g.next_double();  // way out of band
+    }
+    const double mass = sim.flow_weighted_mass();
+    const auto mom = sim.flow_weighted_momentum();
+    const double energy = sim.flow_weighted_energy();
+    const std::uint64_t actions =
+        sim.counters().cloned + sim.counters().merged;
+    sim.debug_rebalance();
+    EXPECT_GT(sim.counters().cloned + sim.counters().merged, actions)
+        << "seed " << seed << ": scrambled weights must trigger balancing";
+    EXPECT_NEAR(sim.flow_weighted_mass() / mass, 1.0, 1e-12) << seed;
+    const auto mom2 = sim.flow_weighted_momentum();
+    const double scale = std::abs(mom[0]) + std::abs(mom[1]) +
+                         std::abs(mom[2]) + 1.0;
+    for (int k = 0; k < 3; ++k)
+      EXPECT_NEAR(mom2[k], mom[k], 1e-9 * scale) << seed << " axis " << k;
+    EXPECT_NEAR(sim.flow_weighted_energy() / energy, 1.0, 1e-12) << seed;
+  }
+}
+
+TEST(SimulationFuzz, AxisymmetricClosedBoxConservesWeightedMassExactly) {
+  // Step-level conservation: a collisionless closed box removes and injects
+  // nothing, so the only thing that could change the weighted mass across
+  // whole steps is the clone/destroy bookkeeping.
+  for (std::uint64_t seed : {2ull, 0xC0FFEEull, 424242ull}) {
+    core::SimConfig cfg;
+    cfg.nx = 16;
+    cfg.ny = 20;
+    cfg.closed_box = true;
+    cfg.has_wedge = false;
+    cfg.axisymmetric = true;
+    cfg.mach = 0.01;
+    cfg.sigma = 0.15;
+    cfg.lambda_inf = 1e9;  // collisionless: every moment must be exact
+    cfg.particles_per_cell = 10.0;
+    cfg.reservoir_fraction = 0.0;
+    cfg.seed = seed;
+    cmdp::ThreadPool pool(4);
+    core::SimulationD sim(cfg, &pool);
+    const double mass = sim.flow_weighted_mass();
+    const double energy = sim.flow_weighted_energy();
+    sim.run(40);
+    EXPECT_EQ(sim.counters().collisions, 0u);
+    EXPECT_GT(sim.counters().cloned + sim.counters().merged, 0u) << seed;
+    EXPECT_NEAR(sim.flow_weighted_mass() / mass, 1.0, 1e-12) << seed;
+    EXPECT_NEAR(sim.flow_weighted_energy() / energy, 1.0, 1e-9) << seed;
+  }
+}
+
+TEST(SimulationFuzz, AxisymmetricShortRunsUpholdCoreInvariants) {
+  // The multi-config sweep, axisymmetric flavor: bodies on the axis, both
+  // upstream modes, wall models; no particle may end up below the axis,
+  // outside the domain or buried in the body.
+  struct AxiCase {
+    int upstream;  // 0 plunger, 1 soft source
+    int wall;      // 0 specular, 1 diffuse isothermal
+    double lambda;
+  };
+  for (const AxiCase c : {AxiCase{0, 0, 0.0}, AxiCase{1, 1, 0.5},
+                          AxiCase{0, 1, 0.5}, AxiCase{1, 0, 2.0}}) {
+    core::SimConfig cfg;
+    cfg.nx = 48;
+    cfg.ny = 20;
+    cfg.has_wedge = false;
+    cfg.axisymmetric = true;
+    cfg.mach = 5.0;
+    cfg.sigma = 0.12;
+    cfg.lambda_inf = c.lambda;
+    cfg.particles_per_cell = 6.0;
+    cfg.reservoir_fraction = 0.3;
+    cfg.body = geom::Body::Biconic(14.0, 0.0, 10.0, 25.0 * kRad, 8.0,
+                                   10.0 * kRad);
+    cfg.upstream = c.upstream == 0 ? geom::UpstreamMode::kPlunger
+                                   : geom::UpstreamMode::kSoftSource;
+    cfg.wall = c.wall == 0 ? geom::WallModel::kSpecular
+                           : geom::WallModel::kDiffuseIsothermal;
+    cfg.seed = 0xA71F022ULL;
+    cmdp::ThreadPool pool(4);
+    core::SimulationD sim(cfg, &pool);
+    sim.set_sampling(true);
+    for (int step = 0; step < 25; ++step) {
+      sim.step();
+      const auto& s = sim.particles();
+      for (std::size_t i = 0; i < s.size(); ++i) {
+        if (s.flags[i] & core::ParticleStore<double>::kReservoirFlag)
+          continue;
+        ASSERT_GE(s.y[i], 0.0) << "below the axis at step " << step;
+        ASSERT_LT(s.y[i], static_cast<double>(cfg.ny));
+        ASSERT_GE(s.x[i], 0.0);
+        ASSERT_LT(s.x[i], static_cast<double>(cfg.nx));
+        ASSERT_GT(s.weight[i], 0.0);
+        const int b = sim.scene().inside_body(s.x[i], s.y[i]);
+        if (b < 0) continue;
+        const auto hit = sim.scene().nearest_face(s.x[i], s.y[i]);
+        ASSERT_TRUE(hit.has_value());
+        ASSERT_GT(hit->hit.depth, -1e-9)
+            << "buried at step " << step << ": " << s.x[i] << "," << s.y[i];
+      }
+    }
+    EXPECT_TRUE(std::isfinite(sim.total_energy()));
+    for (double d : sim.field().density) ASSERT_TRUE(std::isfinite(d));
+  }
+}
+
 TEST(SimulationFuzz, HardSphereAndPowerLawGasesRun) {
   for (auto pot : {cmdsmc::physics::Potential::kHardSphere,
                    cmdsmc::physics::Potential::kInversePower}) {

@@ -24,7 +24,8 @@ namespace physics = cmdsmc::physics;
 TEST(ScenarioRegistry, ContainsThePaperScenarios) {
   for (const char* name :
        {"wedge-mach4", "wedge-mach4-rarefied", "cylinder-mach10", "biconic",
-        "flat-plate-diffuse", "duct3d", "reservoir-relax"}) {
+        "flat-plate-diffuse", "duct3d", "reservoir-relax", "biconic_axi",
+        "sphere_axi"}) {
     ASSERT_NE(scenario::find_scenario(name), nullptr) << name;
   }
   EXPECT_EQ(scenario::find_scenario("no-such-scenario"), nullptr);
@@ -181,6 +182,42 @@ TEST(ScenarioOverrides, RejectsUnknownAndMalformedKeys) {
   // Every advertised key has help text.
   for (const std::string& key : scenario::override_keys())
     EXPECT_FALSE(scenario::override_help(key).empty()) << key;
+}
+
+TEST(ScenarioOverrides, AxisymmetricFlagRoundTripsAndRejectsIncompatible) {
+  // The flag round-trips like any SimConfig field...
+  scenario::ScenarioSpec spec = scenario::get_scenario("sphere_axi");
+  EXPECT_TRUE(spec.config.axisymmetric);
+  scenario::apply_override(spec, "axisymmetric", "false");
+  EXPECT_FALSE(spec.config.axisymmetric);
+  // ...but planar mode cannot build a body straddling the axis (ymin < 0).
+  EXPECT_THROW(spec.build_config(), std::invalid_argument);
+  // Axisymmetric on an incompatible 3D scenario is rejected at build time.
+  scenario::ScenarioSpec duct = scenario::get_scenario("duct3d");
+  scenario::apply_override(duct, "axisymmetric", "true");
+  EXPECT_THROW(duct.build_config(), std::invalid_argument);
+  // The legacy-wedge path is planar-only.
+  scenario::ScenarioSpec wedge = scenario::get_scenario("wedge-mach4");
+  scenario::apply_override(wedge, "axisymmetric", "true");
+  EXPECT_THROW(wedge.build_config(), std::invalid_argument);
+}
+
+TEST(ScenarioRunner, AxisymmetricRunReportsRevolvedBodyCoefficients) {
+  cmdp::ThreadPool pool(0);
+  scenario::ScenarioSpec spec = scenario::get_scenario("biconic_axi");
+  scenario::apply_override(spec, "steps", "8");
+  scenario::apply_override(spec, "ppc", "3");
+  scenario::Runner runner(spec);
+  const scenario::RunResult r = runner.run(&pool);
+  EXPECT_TRUE(r.config.axisymmetric);
+  ASSERT_TRUE(r.surface.has_value());
+  EXPECT_GT(r.surface->cd, 0.0);
+  EXPECT_EQ(r.surface->cl, 0.0);  // revolved body: zero lateral force
+  ASSERT_EQ(r.surfaces.size(), 1u);
+  const std::string json = scenario::JsonSummarySink::to_json(r);
+  EXPECT_NE(json.find("\"axisymmetric\": true"), std::string::npos);
+  EXPECT_NE(json.find("\"bodies\": ["), std::string::npos);
+  EXPECT_NE(json.find("\"cloned\":"), std::string::npos);
 }
 
 TEST(SimConfigWallTemperature, RatioAccessorDerivesFromSigma) {
