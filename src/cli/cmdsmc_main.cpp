@@ -36,7 +36,9 @@ int usage(std::FILE* to) {
                "body.facets=48\n"
                "  cmdsmc run tandem_cylinders body1.x0=100 steps=400\n"
                "  cmdsmc run wedge-mach4 precision=fixed lambda=0.5 "
-               "sinks=ascii,json\n");
+               "sinks=ascii,json\n"
+               "  cmdsmc run wedge-mach4 telemetry=out.jsonl "
+               "trace=out.trace.json progress=1\n");
   return to == stderr ? 2 : 0;
 }
 

@@ -1,5 +1,6 @@
 #include "cmdp/thread_pool.h"
 
+#include <chrono>
 #include <cstdlib>
 #include <string>
 
@@ -27,6 +28,26 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::parallel(const std::function<void(unsigned)>& fn) {
+  if (lane_sink_ == nullptr) {
+    dispatch(fn);
+    return;
+  }
+  // Wrap the job so every lane clocks its own busy time.  The wrapper is
+  // what gets published to the workers, so the measurement covers exactly
+  // the lane's time inside the region (not the fork/join waits).
+  LaneTimeSink* const sink = lane_sink_;
+  const std::function<void(unsigned)> timed = [&fn, sink](unsigned tid) {
+    const auto t0 = std::chrono::steady_clock::now();
+    fn(tid);
+    sink->record_lane_time(
+        tid, std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                           t0)
+                 .count());
+  };
+  dispatch(timed);
+}
+
+void ThreadPool::dispatch(const std::function<void(unsigned)>& fn) {
   if (nthreads_ == 1) {
     fn(0);
     return;

@@ -17,6 +17,17 @@
 
 namespace cmdsmc::cmdp {
 
+// Receiver for per-lane busy time measured inside parallel regions (see
+// ThreadPool::set_lane_time_sink).  Called concurrently from every lane,
+// each with its own tid — implementations must be safe for distinct-tid
+// concurrent calls (e.g. tid-indexed slots), but never see two calls with
+// the same tid at once.
+class LaneTimeSink {
+ public:
+  virtual ~LaneTimeSink() = default;
+  virtual void record_lane_time(unsigned tid, double seconds) = 0;
+};
+
 // Persistent fork-join pool.  The calling thread participates as lane 0, so a
 // pool of size N owns N-1 worker threads.  `parallel(fn)` runs `fn(tid)` on
 // every lane and blocks until all lanes finish.  The pool is not reentrant:
@@ -35,6 +46,14 @@ class ThreadPool {
   // Runs fn(tid) for tid in [0, size()); blocks until every lane returns.
   void parallel(const std::function<void(unsigned)>& fn);
 
+  // While set, every parallel() measures each lane's wall time inside the
+  // region and reports it to the sink — the per-lane phase accounting the
+  // telemetry subsystem feeds on.  Control-thread only (like parallel()
+  // itself); pass nullptr to detach.  Costs two clock reads per lane per
+  // region when attached, nothing when not.
+  void set_lane_time_sink(LaneTimeSink* sink) { lane_sink_ = sink; }
+  LaneTimeSink* lane_time_sink() const { return lane_sink_; }
+
   // Scratch buffers shared by the cmdp primitives running on this pool.
   // Safe because the pool is not reentrant: two primitives never execute
   // concurrently on the same pool.
@@ -46,8 +65,10 @@ class ThreadPool {
 
  private:
   void worker_loop(unsigned tid);
+  void dispatch(const std::function<void(unsigned)>& fn);
 
   unsigned nthreads_;
+  LaneTimeSink* lane_sink_ = nullptr;
   std::vector<std::thread> workers_;
   Workspace workspace_;
 

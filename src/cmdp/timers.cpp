@@ -11,7 +11,13 @@ std::size_t PhaseTimers::phase_id(const std::string& name) {
   names_.push_back(name);
   seconds_.push_back(0.0);
   start_.emplace_back();
+  if (lanes_ != 0) lane_seconds_.resize(names_.size() * lanes_, 0.0);
   return names_.size() - 1;
+}
+
+void PhaseTimers::enable_lane_accumulation(unsigned lanes) {
+  lanes_ = lanes;
+  lane_seconds_.assign(names_.size() * lanes_, 0.0);
 }
 
 double PhaseTimers::total_seconds() const {
@@ -31,6 +37,7 @@ std::vector<double> PhaseTimers::percentages() const {
 
 void PhaseTimers::reset() {
   std::fill(seconds_.begin(), seconds_.end(), 0.0);
+  std::fill(lane_seconds_.begin(), lane_seconds_.end(), 0.0);
 }
 
 }  // namespace cmdsmc::cmdp

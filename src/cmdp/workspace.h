@@ -30,6 +30,17 @@ struct Workspace {
   std::vector<std::uint32_t> compact_ones;
   std::vector<std::uint32_t> compact_offsets;
 
+  // Bytes currently held across all buffers (telemetry's arena gauge).
+  std::size_t bytes() const {
+    std::size_t total = 0;
+    for (const auto* v :
+         {&sort_starts, &sort_cursors, &hist_lanes, &radix_low, &radix_order1,
+          &radix_high, &radix_order2, &compact_ones, &compact_offsets}) {
+      total += v->capacity() * sizeof(std::uint32_t);
+    }
+    return total;
+  }
+
   // Frees every buffer (benchmarks use this to measure the cold-arena cost).
   void release() {
     for (auto* v :

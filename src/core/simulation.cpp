@@ -298,26 +298,136 @@ void Simulation<Real>::init_particles() {
 
 template <class Real>
 void Simulation<Real>::step() {
+  const bool observe = observer_ != nullptr && observer_->wants_step(step_);
+  if (observe) begin_observed_step();
+  // With per-lane timing on, each phase scope attaches the timers as the
+  // pool's lane-time sink; tp stays null (and the scopes cost nothing
+  // extra) otherwise.
+  cmdp::ThreadPool* const tp = timers_.lanes() > 1 ? pool_ : nullptr;
   {
-    cmdp::PhaseTimers::Scope t(timers_, phase_id_[kPhaseMove]);
+    cmdp::PhaseTimers::Scope t(timers_, phase_id_[kPhaseMove], tp);
     phase_move_and_boundaries();
   }
   {
-    cmdp::PhaseTimers::Scope t(timers_, phase_id_[kPhaseSort]);
+    cmdp::PhaseTimers::Scope t(timers_, phase_id_[kPhaseSort], tp);
     phase_sort();
   }
   {
     // Selection and collision are one fused pass (see
     // phase_select_and_collide); the select timer stays registered so the
     // Table A reporting keeps its slot, reading 0 since the fusion.
-    cmdp::PhaseTimers::Scope t(timers_, phase_id_[kPhaseCollide]);
+    cmdp::PhaseTimers::Scope t(timers_, phase_id_[kPhaseCollide], tp);
     phase_select_and_collide();
   }
   if (sampling_) {
-    cmdp::PhaseTimers::Scope t(timers_, phase_id_[kPhaseSample]);
+    cmdp::PhaseTimers::Scope t(timers_, phase_id_[kPhaseSample], tp);
     phase_sample();
   }
+  if (observe) emit_step_stats();
   ++step_;
+}
+
+template <class Real>
+void Simulation<Real>::set_step_observer(obs::StepObserver* observer) {
+  observer_ = observer;
+  if (observer_ != nullptr)
+    timers_.enable_lane_accumulation(pool_->size());
+  else
+    timers_.disable_lane_accumulation();
+}
+
+template <class Real>
+void Simulation<Real>::begin_observed_step() {
+  obs_counters0_ = counters_;
+  obs_wall0_ = surf_.events_total();
+  for (std::size_t p = 0; p < kPhaseCount; ++p)
+    obs_phase0_[p] = timers_.seconds(phase_id_[p]);
+  obs_lane0_ = timers_.lane_seconds_table();
+}
+
+template <class Real>
+void Simulation<Real>::emit_step_stats() {
+  obs::StepStats& s = obs_stats_;
+  s.step = step_;  // the step just executed (step_ advances after the emit)
+  s.flow = flow_count();
+  s.reservoir = res_count_;
+  s.total = store_.size();
+  if (cfg_.axisymmetric) {
+    // The weighted census fell out of balance_weights this step (O(cells)).
+    double w = 0.0;
+    for (double cw : cell_weight_) w += cw;
+    s.weighted_census = w;
+  } else {
+    s.weighted_census = static_cast<double>(s.flow);
+  }
+  s.candidates = counters_.candidates - obs_counters0_.candidates;
+  s.collisions = counters_.collisions - obs_counters0_.collisions;
+  s.reservoir_collisions =
+      counters_.reservoir_collisions - obs_counters0_.reservoir_collisions;
+  s.removed = counters_.removed - obs_counters0_.removed;
+  s.injected = counters_.injected - obs_counters0_.injected;
+  s.synthesized = counters_.synthesized - obs_counters0_.synthesized;
+  s.cloned = counters_.cloned - obs_counters0_.cloned;
+  s.merged = counters_.merged - obs_counters0_.merged;
+  s.wall_events = surf_.events_total() - obs_wall0_;
+  s.accept_rate =
+      s.candidates > 0
+          ? static_cast<double>(s.collisions + s.reservoir_collisions) /
+                static_cast<double>(s.candidates)
+          : 0.0;
+  s.cum_candidates = counters_.candidates;
+  s.cum_collisions = counters_.collisions;
+  // Occupancy spread over open flow cells, from the sort plan's per-cell
+  // counts (still valid: the collide phase reads but never rewrites them).
+  std::uint32_t occ_min = 0xffffffffu;
+  std::uint32_t occ_max = 0;
+  std::uint64_t occ_sum = 0;
+  std::uint64_t open_cells = 0;
+  for (std::uint32_t c = 0; c < ncells_; ++c) {
+    if (open_frac_[c] <= 0.0) continue;  // solid interior cells
+    const std::uint32_t cnt = counts_[c];
+    occ_min = cnt < occ_min ? cnt : occ_min;
+    occ_max = cnt > occ_max ? cnt : occ_max;
+    occ_sum += cnt;
+    ++open_cells;
+  }
+  s.occ_min = open_cells != 0 ? occ_min : 0;
+  s.occ_max = occ_max;
+  s.occ_mean = open_cells != 0
+                   ? static_cast<double>(occ_sum) /
+                         static_cast<double>(open_cells)
+                   : 0.0;
+  s.arena_bytes =
+      pool_->workspace().bytes() +
+      sizeof(std::uint32_t) * (keys_.capacity() + key_counts_.capacity() +
+                               order_.capacity() + counts_.capacity() +
+                               starts_.capacity());
+  // Timing deltas.
+  const unsigned lanes = timers_.lanes();
+  s.lanes = lanes;
+  const std::vector<double>& lane_now = timers_.lane_seconds_table();
+  s.lane_seconds.assign(static_cast<std::size_t>(obs::StepStats::kPhases) *
+                            lanes,
+                        0.0);
+  s.step_seconds = 0.0;
+  for (std::size_t p = 0; p < kPhaseCount; ++p) {
+    const double dt = timers_.seconds(phase_id_[p]) - obs_phase0_[p];
+    s.phase_seconds[p] = dt;
+    s.step_seconds += dt;
+    double lane_max = 0.0;
+    double lane_sum = 0.0;
+    for (unsigned t = 0; t < lanes; ++t) {
+      const std::size_t idx = phase_id_[p] * lanes + t;
+      const double lt =
+          lane_now[idx] - (idx < obs_lane0_.size() ? obs_lane0_[idx] : 0.0);
+      s.lane_seconds[p * lanes + t] = lt;
+      lane_max = lt > lane_max ? lt : lane_max;
+      lane_sum += lt;
+    }
+    s.imbalance[p] =
+        lane_sum > 0.0 ? lane_max * lanes / lane_sum : 0.0;
+  }
+  observer_->on_step(s);
 }
 
 template <class Real>

@@ -34,6 +34,7 @@
 #include "geom/grid.h"
 #include "geom/scene.h"
 #include "geom/wedge.h"
+#include "obs/step_stats.h"
 #include "physics/selection.h"
 #include "rng/rng.h"
 
@@ -127,6 +128,17 @@ class Simulation {
   double phase_seconds(Phase p) const { return timers_.seconds(phase_id_[p]); }
   double total_seconds() const { return timers_.total_seconds(); }
   cmdp::PhaseTimers& timers() { return timers_; }
+
+  // --- Run telemetry (obs/step_stats.h) ---
+  // Attaches a per-step observer: every step the observer wants, the
+  // simulation fills a StepStats (census, counter deltas, occupancy spread,
+  // per-phase and per-lane seconds) and calls on_step before advancing the
+  // step counter.  Attaching also switches the phase timers to per-lane
+  // accumulation sized to the pool; nullptr detaches and switches it back
+  // off.  With no observer attached the step loop pays a single pointer
+  // test.  The observer must outlive the simulation or be detached first.
+  void set_step_observer(obs::StepObserver* observer);
+  obs::StepObserver* step_observer() const { return observer_; }
 
   // --- Conservation diagnostics (flow + reservoir, double precision) ---
   // Total kinetic + rotational energy per unit mass: sum 0.5 (u^2 + r^2).
@@ -237,6 +249,11 @@ class Simulation {
 
   void rebuild_interior_mask();
 
+  // Telemetry bracketing for one observed step: snapshot the cumulative
+  // counters/timers, then turn end-of-step deltas into obs_stats_.
+  void begin_observed_step();
+  void emit_step_stats();
+
   SimConfig cfg_;
   cmdp::ThreadPool* pool_;
   geom::Grid grid_;
@@ -281,6 +298,15 @@ class Simulation {
   SimCounters counters_;
   cmdp::PhaseTimers timers_;
   std::array<std::size_t, kPhaseCount> phase_id_{};
+
+  // Step observer state: the reusable stats record plus the step-start
+  // snapshots the per-step deltas are differenced against.
+  obs::StepObserver* observer_ = nullptr;
+  obs::StepStats obs_stats_;
+  SimCounters obs_counters0_;
+  std::uint64_t obs_wall0_ = 0;
+  std::array<double, kPhaseCount> obs_phase0_{};
+  std::vector<double> obs_lane0_;
 };
 
 using SimulationD = Simulation<double>;

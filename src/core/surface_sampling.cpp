@@ -51,12 +51,15 @@ SurfaceSampler::SurfaceSampler(int nsegments, unsigned lanes, double span,
   if (lanes == 0) lanes_ = 1;
   sums_.assign(static_cast<std::size_t>(nseg_) * kMoments, 0.0);
   lane_sums_.assign(static_cast<std::size_t>(lanes_) * nseg_ * kMoments, 0.0);
+  lane_events_.assign(lanes_, 0);
 }
 
 void SurfaceSampler::reset() {
   samples_ = 0;
   std::fill(sums_.begin(), sums_.end(), 0.0);
   std::fill(lane_sums_.begin(), lane_sums_.end(), 0.0);
+  std::fill(lane_events_.begin(), lane_events_.end(), 0);
+  events_total_ = 0;
 }
 
 void SurfaceSampler::record(unsigned lane, const geom::WallEventBuffer& ev) {
@@ -73,6 +76,7 @@ void SurfaceSampler::record(unsigned lane, const geom::WallEventBuffer& ev,
   for (int k = 0; k < ev.count; ++k) {
     const geom::WallEvent& e = ev.events[k];
     if (e.segment < 0 || e.segment >= nseg_) continue;
+    ++lane_events_[lane];
     double* m = s + static_cast<std::size_t>(e.segment) * kMoments;
     m[0] += weight;
     m[1] += weight * e.dpx;
@@ -98,6 +102,10 @@ void SurfaceSampler::end_step() {
       for (std::size_t i = 0; i < stride; ++i) sums_[i] += src[i];
     }
     std::fill(lane_sums_.begin(), lane_sums_.end(), 0.0);
+  }
+  for (std::uint64_t& e : lane_events_) {
+    events_total_ += e;
+    e = 0;
   }
   ++samples_;
 }

@@ -15,6 +15,7 @@
 // q_inf = 0.5 * n_inf * u_inf^2.  Fluxes are per unit area per time step.
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -108,6 +109,10 @@ class SurfaceSampler {
   // the persistent accumulator.
   void end_step();
 
+  // Total wall events recorded since construction/reset (lane-reduced at
+  // end_step; telemetry differences consecutive values for per-step counts).
+  std::uint64_t events_total() const { return events_total_; }
+
   // Reduces and normalizes against the body geometry and the freestream
   // (rho_inf = n_inf for unit-mass particles).  The legacy single-body
   // overload requires body.segment_count() == segment_count().
@@ -149,6 +154,8 @@ class SurfaceSampler {
   int samples_ = 0;
   std::vector<double> sums_;       // nseg * kMoments, lane-reduced
   std::vector<double> lane_sums_;  // lanes * nseg * kMoments (per-step)
+  std::uint64_t events_total_ = 0;
+  std::vector<std::uint64_t> lane_events_;  // per-step raw event tallies
 };
 
 }  // namespace cmdsmc::core

@@ -1,0 +1,54 @@
+#include "io/chrome_trace.h"
+
+#include <cstdio>
+
+namespace cmdsmc::io {
+
+namespace {
+constexpr int kPid = 1;  // one process; tracks are threads
+}
+
+void ChromeTraceWriter::open(const std::string& path) {
+  close();
+  out_.open(path, std::ios::out | std::ios::trunc);
+  open_ = out_.is_open();
+  first_ = true;
+  if (open_) out_ << "[\n";
+}
+
+void ChromeTraceWriter::comma() {
+  if (!first_) out_ << ",\n";
+  first_ = false;
+}
+
+void ChromeTraceWriter::thread_name(int tid, const std::string& name,
+                                    int sort_index) {
+  if (!open_) return;
+  comma();
+  out_ << "{\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":" << kPid
+       << ",\"tid\":" << tid << ",\"args\":{\"name\":\"" << name << "\"}},\n"
+       << "{\"ph\":\"M\",\"name\":\"thread_sort_index\",\"pid\":" << kPid
+       << ",\"tid\":" << tid << ",\"args\":{\"sort_index\":" << sort_index
+       << "}}";
+}
+
+void ChromeTraceWriter::span(const char* name, double ts_us, double dur_us,
+                             int tid) {
+  if (!open_) return;
+  comma();
+  char buf[192];
+  std::snprintf(buf, sizeof(buf),
+                "{\"ph\":\"X\",\"name\":\"%s\",\"pid\":%d,\"tid\":%d,"
+                "\"ts\":%.3f,\"dur\":%.3f}",
+                name, kPid, tid, ts_us, dur_us);
+  out_ << buf;
+}
+
+void ChromeTraceWriter::close() {
+  if (!open_) return;
+  out_ << "\n]\n";
+  out_.close();
+  open_ = false;
+}
+
+}  // namespace cmdsmc::io

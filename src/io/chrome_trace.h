@@ -1,0 +1,45 @@
+// Chrome trace-event JSON writer (the array-of-events flavor), loadable in
+// Perfetto (ui.perfetto.dev) and chrome://tracing.  Only the two event
+// types telemetry needs: "M" thread-name metadata (one per track) and "X"
+// complete spans (begin + duration in one event, so the file is balanced
+// by construction).
+#pragma once
+
+#include <fstream>
+#include <string>
+
+namespace cmdsmc::io {
+
+class ChromeTraceWriter {
+ public:
+  ChromeTraceWriter() = default;
+  // Opens `path` and writes the array opener.  Check ok() afterwards.
+  explicit ChromeTraceWriter(const std::string& path) { open(path); }
+  ~ChromeTraceWriter() { close(); }
+
+  ChromeTraceWriter(const ChromeTraceWriter&) = delete;
+  ChromeTraceWriter& operator=(const ChromeTraceWriter&) = delete;
+
+  void open(const std::string& path);
+  bool ok() const { return open_ && out_.good(); }
+  bool is_open() const { return open_; }
+
+  // Names the track `tid` ("control", "lane 3", ...).  sort_index orders
+  // tracks in the UI (lower = higher).
+  void thread_name(int tid, const std::string& name, int sort_index);
+
+  // One complete span on track `tid`: [ts_us, ts_us + dur_us], microseconds.
+  void span(const char* name, double ts_us, double dur_us, int tid);
+
+  // Writes the array closer and flushes; idempotent.
+  void close();
+
+ private:
+  void comma();
+
+  std::ofstream out_;
+  bool open_ = false;
+  bool first_ = true;
+};
+
+}  // namespace cmdsmc::io

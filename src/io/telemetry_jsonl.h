@@ -1,0 +1,21 @@
+// StepStats -> one JSON object per line (JSONL).  The schema is documented
+// in docs/observability.md and validated by bench/check_telemetry.py; the
+// select slot is folded into the fused "select_collide" entry everywhere
+// (it reads 0 since the PR 3 fusion).
+#pragma once
+
+#include <string>
+
+#include "obs/step_stats.h"
+
+namespace cmdsmc::io {
+
+// Serializes one per-step record as a single JSON line (no trailing
+// newline).  Appends to `out` (cleared first), so a streaming writer can
+// reuse one buffer across steps.
+void telemetry_json_line(const obs::StepStats& s, std::string& out);
+
+// Convenience form returning a fresh string (tests).
+std::string telemetry_json_line(const obs::StepStats& s);
+
+}  // namespace cmdsmc::io

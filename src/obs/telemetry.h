@@ -1,0 +1,79 @@
+// The run telemetry consumer: one StepObserver that fans a simulation's
+// per-step stats out to
+//   - a JSONL metrics stream (one JSON object per recorded step),
+//   - a Chrome trace-event file (one span per phase per step on a control
+//     track, plus one track per lane), viewable in Perfetto, and
+//   - a stderr progress heartbeat (step, particles, usec/particle, ETA).
+// Attach with Simulation::set_step_observer; the Runner wires it to the
+// `telemetry= trace= progress=` overrides.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <fstream>
+#include <iosfwd>
+#include <string>
+
+#include "io/chrome_trace.h"
+#include "obs/step_stats.h"
+
+namespace cmdsmc::obs {
+
+struct TelemetryOptions {
+  std::string jsonl_path;  // empty: no metrics stream
+  std::string trace_path;  // empty: no trace
+  // Record every Nth step (steps with step % every == 0).  The progress
+  // heartbeat, when on, observes every step regardless so its rates stay
+  // exact.
+  int every = 1;
+  bool progress = false;
+  // Total steps the run is expected to take (warmup + averaging), for the
+  // heartbeat's ETA; 0 = unknown.
+  std::int64_t expected_steps = 0;
+  // Heartbeat destination; nullptr = std::cerr (tests substitute a stream).
+  std::ostream* progress_stream = nullptr;
+};
+
+class TelemetrySession final : public StepObserver {
+ public:
+  explicit TelemetrySession(TelemetryOptions opts);
+  ~TelemetrySession() override;
+
+  TelemetrySession(const TelemetrySession&) = delete;
+  TelemetrySession& operator=(const TelemetrySession&) = delete;
+
+  // False when a requested output file failed to open.
+  bool ok() const { return ok_; }
+
+  bool wants_step(std::int64_t step) const override;
+  void on_step(const StepStats& stats) override;
+
+  // Flushes the JSONL stream and closes the trace array; idempotent (the
+  // destructor calls it).  After finish() the session records nothing more.
+  void finish();
+
+  std::int64_t steps_recorded() const { return records_; }
+
+ private:
+  void write_trace(const StepStats& s);
+  void write_progress(const StepStats& s);
+
+  TelemetryOptions opts_;
+  bool ok_ = true;
+  bool finished_ = false;
+  std::ofstream jsonl_;
+  io::ChromeTraceWriter trace_;
+  std::string line_;  // reused JSONL formatting buffer
+
+  std::int64_t records_ = 0;
+  std::int64_t steps_seen_ = 0;
+  std::int64_t first_step_ = 0;
+  double trace_ts_us_ = 0.0;  // monotonic span cursor (recorded steps only)
+  bool tracks_named_ = false;
+
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point wall_start_;
+  Clock::time_point last_progress_;
+};
+
+}  // namespace cmdsmc::obs

@@ -10,6 +10,7 @@
 
 #include "core/steady.h"
 #include "io/contour.h"
+#include "obs/telemetry.h"
 #include "io/csv.h"
 #include "io/shock_analysis.h"
 #include "io/surface_csv.h"
@@ -206,15 +207,25 @@ void ConsoleReportSink::write(const RunResult& r) {
   }
 
   if (r.total_seconds > 0.0) {
+    // Selection has been fused into the collide pass since PR 3, so its
+    // slot is 0 by design — reporting it as a real phase (as this sink
+    // once did) skewed the paper comparison.  Report the fused entry.
     std::snprintf(line, sizeof line,
-                  "phase shares  : move %.0f%% sort %.0f%% select %.0f%% "
-                  "collide %.0f%% sample %.0f%%\n",
+                  "phase shares  : move %.0f%% sort %.0f%% "
+                  "select+collide %.0f%% sample %.0f%% "
+                  "(select fused into collide)\n",
                   100.0 * r.phase_seconds[0] / r.total_seconds,
                   100.0 * r.phase_seconds[1] / r.total_seconds,
-                  100.0 * r.phase_seconds[2] / r.total_seconds,
-                  100.0 * r.phase_seconds[3] / r.total_seconds,
+                  100.0 * r.select_collide_seconds() / r.total_seconds,
                   100.0 * r.phase_seconds[4] / r.total_seconds);
     buf << line;
+    if (r.usec_per_particle_step > 0.0) {
+      std::snprintf(line, sizeof line,
+                    "perf          : %.3f us/particle/step over %lld steps\n",
+                    r.usec_per_particle_step,
+                    static_cast<long long>(r.total_steps));
+      buf << line;
+    }
   }
   os << buf.str();
 }
@@ -249,12 +260,28 @@ std::string JsonSummarySink::to_json(const RunResult& r) {
      << ", \"synthesized\": " << r.counters.synthesized
      << ", \"cloned\": " << r.counters.cloned
      << ", \"merged\": " << r.counters.merged << "},\n";
+  // "select_collide" is the truthful fused entry (selection fused into the
+  // collide pass since PR 3); "select" and "collide" stay as compat aliases
+  // for pre-fusion consumers ("select" reads 0 by design).
   os << "  \"phase_seconds\": {\"move\": " << r.phase_seconds[0]
      << ", \"sort\": " << r.phase_seconds[1]
+     << ", \"select_collide\": " << r.select_collide_seconds()
      << ", \"select\": " << r.phase_seconds[2]
      << ", \"collide\": " << r.phase_seconds[3]
      << ", \"sample\": " << r.phase_seconds[4]
-     << ", \"total\": " << r.total_seconds << "}";
+     << ", \"total\": " << r.total_seconds << "},\n";
+  // Per-particle cost and the phase split next to the paper's CM-2 numbers
+  // (move 14 / sort 27 / select 20 / collide 39, Table A).
+  const double tot = r.total_seconds > 0.0 ? r.total_seconds : 1.0;
+  os << "  \"perf\": {\"usec_per_particle_step\": "
+     << r.usec_per_particle_step << ", \"steps\": " << r.total_steps
+     << ",\n    \"phase_share\": {\"move\": "
+     << 100.0 * r.phase_seconds[0] / tot
+     << ", \"sort\": " << 100.0 * r.phase_seconds[1] / tot
+     << ", \"select_collide\": " << 100.0 * r.select_collide_seconds() / tot
+     << ", \"sample\": " << 100.0 * r.phase_seconds[4] / tot
+     << "},\n    \"paper_share\": {\"move\": 14, \"sort\": 27, "
+        "\"select\": 20, \"collide\": 39}}";
   if (r.surface) {
     os << ",\n  \"surface\": {\"cd\": " << r.surface->cd
        << ", \"cl\": " << r.surface->cl << ", \"cp_max\": " << r.cp_max()
@@ -335,6 +362,32 @@ RunResult Runner::run_impl(cmdp::ThreadPool* pool) {
   core::Simulation<Real> sim(cfg, pool);
   if (spec_.schedule.rectangular_start) rectangular_start(sim, cfg);
 
+  // Run telemetry: stream per-step metrics / trace spans / the progress
+  // heartbeat through a StepObserver for the whole warmup + averaging run.
+  std::unique_ptr<obs::TelemetrySession> telemetry;
+  if (!spec_.telemetry_path.empty() || !spec_.trace_path.empty() ||
+      spec_.progress) {
+    const std::string prefix =
+        spec_.output_prefix.empty() ? spec_.name : spec_.output_prefix;
+    obs::TelemetryOptions topt;
+    topt.jsonl_path = spec_.telemetry_path == "1" || spec_.telemetry_path == "on"
+                          ? prefix + "_telemetry.jsonl"
+                          : spec_.telemetry_path;
+    topt.trace_path = spec_.trace_path == "1" || spec_.trace_path == "on"
+                          ? prefix + "_trace.json"
+                          : spec_.trace_path;
+    topt.every = spec_.telemetry_every;
+    topt.progress = spec_.progress;
+    topt.expected_steps =
+        (spec_.schedule.auto_steady ? spec_.schedule.max_steady_steps
+                                    : spec_.schedule.steady_steps) +
+        spec_.schedule.avg_steps;
+    telemetry = std::make_unique<obs::TelemetrySession>(std::move(topt));
+    if (!telemetry->ok())
+      throw std::runtime_error("telemetry: cannot open output file");
+    sim.set_step_observer(telemetry.get());
+  }
+
   // Warmup: fixed length, or adaptive via windowed means of the flow
   // population and flow energy (both must settle).
   if (spec_.schedule.auto_steady) {
@@ -380,6 +433,17 @@ RunResult Runner::run_impl(cmdp::ThreadPool* pool) {
                           sim.phase_seconds(Sim::kPhaseCollide),
                           sim.phase_seconds(Sim::kPhaseSample)};
   result.total_seconds = sim.total_seconds();
+  result.total_steps = result.steady_steps + result.avg_steps;
+  if (result.total_steps > 0 && result.total_count > 0)
+    result.usec_per_particle_step =
+        result.total_seconds * 1e6 /
+        (static_cast<double>(result.total_steps) *
+         static_cast<double>(result.total_count));
+
+  if (telemetry) {
+    sim.set_step_observer(nullptr);
+    telemetry->finish();
+  }
 
   for (auto& sink : sinks_) sink->write(result);
   return result;

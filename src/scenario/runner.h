@@ -43,9 +43,19 @@ struct RunResult {
   bool steady_detected = false;  // true when auto_steady converged early
 
   // Wall-clock phase breakdown (Table A order: move, sort, select, collide,
-  // sample) and its sum.
+  // sample) and its sum.  The select slot reads 0 since the PR 3 fusion;
+  // reporting folds it into a fused select+collide entry (see
+  // select_collide_seconds) and keeps the raw slots for compat.
   std::array<double, 5> phase_seconds{};
   double total_seconds = 0.0;
+  double select_collide_seconds() const {
+    return phase_seconds[2] + phase_seconds[3];
+  }
+
+  // Perf summary: steps actually run (steady + avg) and the run's
+  // per-particle step cost.
+  std::int64_t total_steps = 0;
+  double usec_per_particle_step = 0.0;
 
   // Peak pressure coefficient over non-embedded segments (0 if no surface).
   double cp_max() const;

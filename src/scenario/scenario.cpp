@@ -345,6 +345,27 @@ const std::vector<OverrideEntry>& override_table() {
            start = comma + 1;
          }
        }},
+      // --- Telemetry ---
+      {"telemetry", "per-step JSONL metrics stream: a path, or 1/on for "
+                    "<out>_telemetry.jsonl; 0/off disables",
+       [](ScenarioSpec& s, const std::string&, const std::string& v) {
+         s.telemetry_path = (v == "0" || v == "off") ? std::string() : v;
+       }},
+      {"trace", "Chrome trace-event spans (Perfetto): a path, or 1/on for "
+                "<out>_trace.json; 0/off disables",
+       [](ScenarioSpec& s, const std::string&, const std::string& v) {
+         s.trace_path = (v == "0" || v == "off") ? std::string() : v;
+       }},
+      {"telemetry_every", "telemetry/trace recording cadence (every Nth step)",
+       [](ScenarioSpec& s, const std::string& k, const std::string& v) {
+         const int n = cli::parse_int(k, v);
+         if (n < 1) throw cli::ArgError(k + ": must be >= 1");
+         s.telemetry_every = n;
+       }},
+      {"progress", "stderr heartbeat: step, particles, us/particle, ETA",
+       [](ScenarioSpec& s, const std::string& k, const std::string& v) {
+         s.progress = cli::parse_bool(k, v);
+       }},
   };
   return table;
 }

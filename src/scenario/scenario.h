@@ -93,6 +93,15 @@ struct ScenarioSpec {
   // compress past the wedge's 4.5x).
   double contour_vmax = 4.5;
 
+  // --- Run telemetry (obs/telemetry.h; the Runner attaches the session) ---
+  // JSONL metrics stream path; "1"/"on" derive <output_prefix>_telemetry
+  // .jsonl; empty = off.
+  std::string telemetry_path;
+  // Chrome trace-event path; "1"/"on" derive <output_prefix>_trace.json.
+  std::string trace_path;
+  int telemetry_every = 1;  // record every Nth step
+  bool progress = false;    // stderr heartbeat
+
   // Final SimConfig: derives the diffuse-wall sigma from the temperature
   // ratio, constructs the body, and validates.  Throws std::invalid_argument
   // on inconsistent parameters.

@@ -25,6 +25,7 @@
 #include "core/simulation.h"
 #include "fixedpoint/fixed32.h"
 #include "geom/body.h"
+#include "obs/telemetry.h"
 
 namespace {
 
@@ -233,6 +234,35 @@ TEST(GoldenPipeline, TandemCylindersFixed) {
   check("tandem fixed",
         run_case<fixedpoint::Fixed32>(tandem_cfg(), kGoldenThreads),
         kGolden[5]);
+}
+
+// Telemetry is a pure observer: attaching a full session (per-step JSONL +
+// Chrome trace + per-lane timer accumulation) must not perturb a single bit
+// of the physics.  Any RNG draw, reordering, or extra particle touch made by
+// the observability layer flips the pinned hashes.
+TEST(GoldenPipeline, TelemetryOnMatchesGolden) {
+  cmdp::ThreadPool pool(kGoldenThreads);
+  core::SimulationD sim(wedge_cfg(), &pool);
+
+  obs::TelemetryOptions topt;
+  topt.jsonl_path = "golden_telemetry.jsonl";
+  topt.trace_path = "golden_trace.json";
+  obs::TelemetrySession telemetry(std::move(topt));
+  ASSERT_TRUE(telemetry.ok());
+  sim.set_step_observer(&telemetry);
+
+  sim.run(kWarmSteps);
+  sim.set_sampling(true);
+  sim.run(kAvgSteps);
+  sim.set_step_observer(nullptr);
+  telemetry.finish();
+
+  EXPECT_EQ(telemetry.steps_recorded(), kWarmSteps + kAvgSteps);
+  const GoldenTriple got = {state_hash(sim), field_hash(sim.field()),
+                            diag_hash(sim)};
+  check("wedge double + telemetry", got, kGolden[0]);
+  std::remove("golden_telemetry.jsonl");
+  std::remove("golden_trace.json");
 }
 
 // The particle state (sorted order, counters, every state bit) must not
