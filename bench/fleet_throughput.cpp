@@ -1,0 +1,134 @@
+// Fleet throughput: jobs/sec of a fixed sweep vs fleet.threads.
+//
+// Runs the same N-job sweep (cylinder-mach10, scaled down) at fleet widths
+// 1,2,4,8 (capped at the hardware) with the result cache off, and writes
+// BENCH_fleet.json: per-width jobs/sec and speedup over the single-thread
+// fleet.  Jobs are independent, so the speedup should track the width until
+// the machine runs out of cores — the paper's throughput story applied
+// across runs instead of within one.
+//
+// Env knobs for CI scale: CMDSMC_FLEET_JOBS (default 12) and
+// CMDSMC_FLEET_STEPS (per-job steady=avg step count, default 40).
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "fleet/scheduler.h"
+#include "fleet/sweep.h"
+
+namespace {
+
+int env_int(const char* name, int fallback) {
+  const char* s = std::getenv(name);
+  if (s == nullptr || *s == '\0') return fallback;
+  return std::atoi(s);
+}
+
+}  // namespace
+
+int main() {
+  using namespace cmdsmc;
+  namespace fs = std::filesystem;
+
+  const int n_jobs = std::max(1, env_int("CMDSMC_FLEET_JOBS", 12));
+  const int steps = std::max(1, env_int("CMDSMC_FLEET_STEPS", 40));
+  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+
+  fleet::SweepRequest request;
+  request.scenario = "cylinder-mach10";
+  request.fixed = {{"nx", "64"},
+                   {"ny", "48"},
+                   {"ppc", "4"},
+                   {"steps", std::to_string(steps)}};
+  fleet::SweepAxis axis;
+  axis.key = "twall";  // valid at any point count (mach hits the speed cap)
+  for (int j = 0; j < n_jobs; ++j) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.3f", 0.5 + 0.05 * j);
+    axis.values.emplace_back(buf);
+  }
+  request.axes.push_back(axis);
+  const std::vector<fleet::FleetJob> jobs = fleet::expand_sweep(request);
+
+  const fs::path base =
+      fs::temp_directory_path() / "cmdsmc_bench_fleet_throughput";
+  fs::remove_all(base);
+
+  std::printf("fleet throughput: %d jobs (cylinder-mach10 64x48, %d steps)\n",
+              n_jobs, steps);
+  std::printf("%8s %12s %12s %10s\n", "threads", "seconds", "jobs/sec",
+              "speedup");
+
+  struct Point {
+    unsigned threads;
+    double seconds;
+    double jobs_per_second;
+    double speedup;
+  };
+  std::vector<Point> points;
+  for (unsigned threads : {1u, 2u, 4u, 8u}) {
+    if (threads > hw && threads != 1u) {
+      std::printf("%8u %12s %12s %10s\n", threads, "-", "-",
+                  "(> hardware)");
+      continue;
+    }
+    fleet::FleetOptions options;
+    options.fleet_threads = threads;
+    options.job_threads = 1;
+    options.cache = false;  // measure execution, not replay
+    std::string leg = "t";  // sequential appends: GCC 12 -Wrestrict
+    leg += std::to_string(threads);
+    options.dir = (base / leg).string();
+
+    const auto t0 = std::chrono::steady_clock::now();
+    fleet::FleetScheduler scheduler(options);
+    scheduler.submit(jobs);
+    const fleet::FleetSummary summary = scheduler.finish();
+    const double seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    if (summary.failed != 0) {
+      std::fprintf(stderr, "fleet_throughput: %zu jobs failed\n",
+                   summary.failed);
+      return 1;
+    }
+    Point p;
+    p.threads = threads;
+    p.seconds = seconds;
+    p.jobs_per_second = seconds > 0.0 ? n_jobs / seconds : 0.0;
+    p.speedup = points.empty()
+                    ? 1.0
+                    : p.jobs_per_second / points.front().jobs_per_second;
+    points.push_back(p);
+    std::printf("%8u %12.3f %12.2f %10.2f\n", p.threads, p.seconds,
+                p.jobs_per_second, p.speedup);
+  }
+  fs::remove_all(base);
+
+  std::FILE* f = std::fopen("BENCH_fleet.json", "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write BENCH_fleet.json\n");
+    return 1;
+  }
+  std::fprintf(f,
+               "{\n  \"bench\": \"fleet_throughput\",\n"
+               "  \"jobs\": %d,\n  \"steps\": %d,\n"
+               "  \"hardware_threads\": %u,\n  \"points\": [\n",
+               n_jobs, steps, hw);
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const Point& p = points[i];
+    std::fprintf(f,
+                 "    {\"fleet_threads\": %u, \"seconds\": %.6f, "
+                 "\"jobs_per_second\": %.4f, \"speedup\": %.4f}%s\n",
+                 p.threads, p.seconds, p.jobs_per_second, p.speedup,
+                 i + 1 < points.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("wrote BENCH_fleet.json\n");
+  return 0;
+}

@@ -101,4 +101,36 @@ void throw_bad_choice(const std::string& key, const std::string& value,
   throw ArgError(key + ": '" + value + "' is not one of: " + join(choices));
 }
 
+std::string error_json(const std::string& type, const std::string& message) {
+  std::string out = "{\"error\": {\"type\": \"";
+  const auto escape = [&out](const std::string& s) {
+    for (char c : s) {
+      if (c == '"' || c == '\\') out += '\\';
+      if (c == '\n' || c == '\r' || c == '\t') {
+        out += ' ';
+        continue;
+      }
+      out += c;
+    }
+  };
+  escape(type);
+  out += "\", \"message\": \"";
+  escape(message);
+  out += "\"}}";
+  return out;
+}
+
+int error_exit_code(const std::exception& e) {
+  if (dynamic_cast<const ArgError*>(&e) != nullptr) return 2;
+  if (dynamic_cast<const std::invalid_argument*>(&e) != nullptr) return 2;
+  return 3;
+}
+
+const char* error_type(const std::exception& e) {
+  if (dynamic_cast<const ArgError*>(&e) != nullptr) return "usage";
+  if (dynamic_cast<const std::invalid_argument*>(&e) != nullptr)
+    return "config";
+  return "runtime";
+}
+
 }  // namespace cmdsmc::cli

@@ -50,4 +50,18 @@ bool parse_bool(const std::string& key, const std::string& value);
                                    const std::string& value,
                                    const std::vector<std::string>& choices);
 
+// --- Machine-readable failure reporting -------------------------------------
+// `cmdsmc run` (and the fleet's failure isolation) promise a non-zero exit
+// plus one parseable error line on any failure.  These two helpers are the
+// single definition of that contract.
+
+// One JSON line: {"error": {"type": "<type>", "message": "<message>"}}.
+std::string error_json(const std::string& type, const std::string& message);
+
+// Exit-code/type classification shared by the CLI commands:
+//   ArgError / std::invalid_argument (validate())  -> 2, "usage"/"config"
+//   anything else (runtime failure)                -> 3, "runtime"
+int error_exit_code(const std::exception& e);
+const char* error_type(const std::exception& e);
+
 }  // namespace cmdsmc::cli

@@ -4,16 +4,26 @@
 //   cmdsmc describe <scenario>           full spec + valid override keys
 //   cmdsmc describe --all                markdown table (docs/scenarios.md)
 //   cmdsmc run <scenario> [key=value ..] run with overrides
+//   cmdsmc sweep <scenario> [..]         expand sweep:key=... into a job
+//                                        list and run it on the fleet
+//   cmdsmc serve [..]                    long-running service: job specs
+//                                        from stdin or a spool directory
 //
 // Overrides address any SimConfig field, the body factory parameters
 // (body.*), the run schedule and the output sinks by name; a misspelled
-// key is an error listing the valid keys, never a silent no-op.
+// key is an error listing the valid keys, never a silent no-op.  Every
+// failure exits non-zero with one machine-readable JSON error line on
+// stdout (exit 2: bad arguments/config; exit 3: runtime failure).
 #include <cstdio>
 #include <cstring>
 #include <exception>
+#include <iostream>
 #include <string>
 #include <vector>
 
+#include "fleet/scheduler.h"
+#include "fleet/serve.h"
+#include "fleet/sweep.h"
 #include "scenario/runner.h"
 #include "scenario/scenario.h"
 
@@ -29,16 +39,25 @@ int usage(std::FILE* to) {
                "  describe <scenario> | --all    show a scenario (or a\n"
                "                                 markdown table of all)\n"
                "  run <scenario> [key=value ..]  run with overrides\n"
+               "  sweep <scenario> [key=value ..] [sweep:key=v1,v2 ..]\n"
+               "                                 expand a parameter sweep\n"
+               "                                 and run it on the fleet\n"
+               "  serve [fleet.* ..] [spool=DIR] [once=1] [key=value ..]\n"
+               "                                 service mode: job specs\n"
+               "                                 from stdin or a spool dir,\n"
+               "                                 JSONL results on stdout\n"
                "\n"
                "examples:\n"
                "  cmdsmc run wedge-mach4 steps=200\n"
                "  cmdsmc run cylinder-mach10 mach=8 body.twall=0.5 "
                "body.facets=48\n"
-               "  cmdsmc run tandem_cylinders body1.x0=100 steps=400\n"
-               "  cmdsmc run wedge-mach4 precision=fixed lambda=0.5 "
-               "sinks=ascii,json\n"
                "  cmdsmc run wedge-mach4 telemetry=out.jsonl "
-               "trace=out.trace.json progress=1\n");
+               "trace=out.trace.json progress=1\n"
+               "  cmdsmc sweep wedge-mach4 steps=200 sweep:mach=4,8,12 \\\n"
+               "      sweep:lambda=0.01..1/8 fleet.threads=8 "
+               "fleet.dir=sweep_out\n"
+               "  echo 'cylinder-mach10 mach=12 steps=100' | cmdsmc serve "
+               "once=1\n");
   return to == stderr ? 2 : 0;
 }
 
@@ -127,6 +146,70 @@ int cmd_run(int argc, char** argv) {
   return 0;
 }
 
+int cmd_sweep(int argc, char** argv) {
+  if (argc < 3) {
+    std::fprintf(stderr, "sweep: missing scenario name\n");
+    return usage(stderr);
+  }
+  fleet::SweepRequest request;
+  request.scenario = argv[2];
+  fleet::FleetOptions options;
+  for (int i = 3; i < argc; ++i) {
+    const std::string token = argv[i];
+    if (fleet::is_sweep_token(token)) {
+      request.axes.push_back(fleet::parse_sweep_axis(token));
+      continue;
+    }
+    const cli::KeyValue kv = cli::parse_key_values({token})[0];
+    if (fleet::apply_fleet_option(options, kv.key, kv.value)) continue;
+    request.fixed.push_back(kv);
+  }
+
+  const std::vector<fleet::FleetJob> jobs = fleet::expand_sweep(request);
+  fleet::FleetScheduler scheduler(options);
+  fleet::FleetMeta meta;
+  meta.scenario = request.scenario;
+  for (const fleet::SweepAxis& axis : request.axes)
+    meta.axis_keys.push_back(axis.key);
+  meta.fleet_threads = scheduler.options().fleet_threads;
+  meta.job_threads = scheduler.options().job_threads;
+  scheduler.set_meta(meta);
+
+  std::fprintf(stderr,
+               "sweep: %zu jobs on %u fleet threads x %u job threads -> %s\n",
+               jobs.size(), scheduler.options().fleet_threads,
+               scheduler.options().job_threads, scheduler.options().dir.c_str());
+  scheduler.submit(jobs);
+  const fleet::FleetSummary summary = scheduler.finish();
+  std::fprintf(stderr,
+               "sweep: %zu done + %zu cached + %zu failed + %zu skipped in "
+               "%.2fs (%.2f jobs/s); aggregate %s\n",
+               summary.completed, summary.cached, summary.failed,
+               summary.skipped, summary.elapsed_seconds,
+               summary.jobs_per_second, summary.aggregate_path.c_str());
+  if (summary.failed > 0) {
+    std::cout << cli::error_json("jobs",
+                                 std::to_string(summary.failed) +
+                                     " job(s) failed; see " +
+                                     summary.manifest_path)
+              << "\n";
+    return 3;
+  }
+  return 0;
+}
+
+int cmd_serve(int argc, char** argv) {
+  fleet::ServeOptions options;
+  for (int i = 2; i < argc; ++i) {
+    const cli::KeyValue kv = cli::parse_key_values({std::string(argv[i])})[0];
+    if (fleet::apply_serve_option(options, kv.key, kv.value)) continue;
+    if (fleet::apply_fleet_option(options.fleet, kv.key, kv.value)) continue;
+    // Anything else is a default override applied to every request line.
+    options.defaults.push_back(kv);
+  }
+  return fleet::run_serve(std::move(options), std::cin, std::cout);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -143,10 +226,17 @@ int main(int argc, char** argv) {
       return cmd_describe(argv[2]);
     }
     if (cmd == "run") return cmd_run(argc, argv);
+    if (cmd == "sweep") return cmd_sweep(argc, argv);
+    if (cmd == "serve") return cmd_serve(argc, argv);
     if (cmd == "help" || cmd == "--help" || cmd == "-h") return usage(stdout);
   } catch (const std::exception& e) {
+    // Contract: non-zero exit + one machine-readable JSON error line on
+    // stdout (exit 2 for argument/config errors, 3 for runtime failures);
+    // the human-readable message goes to stderr.  Fleet failure isolation
+    // and external orchestrators key on this.
+    std::printf("%s\n", cli::error_json(cli::error_type(e), e.what()).c_str());
     std::fprintf(stderr, "cmdsmc: %s\n", e.what());
-    return 1;
+    return cli::error_exit_code(e);
   }
   std::fprintf(stderr, "unknown command '%s'\n", cmd.c_str());
   return usage(stderr);

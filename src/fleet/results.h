@@ -1,0 +1,102 @@
+// Fleet results: one JobRecord per scheduled job, streamed as JSONL while
+// the fleet runs (the manifest), and folded into a fleet-level aggregate
+// JSON at the end (Cd/Cl/heat tables keyed by the swept parameters).
+//
+// The manifest doubles as the result cache and the resume log: every
+// record carries the job's content hash, so a restarted fleet loads the
+// manifest, keys completed records by hash, and skips already-completed
+// jobs (re-emitting their cached metrics).  Records are flat JSON objects
+// parseable by JobRecord::from_json_line — the only JSON this subsystem
+// ever reads is the JSON it wrote.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "cli/args.h"
+
+namespace cmdsmc::fleet {
+
+enum class JobStatus {
+  kDone,     // ran to completion this invocation
+  kCached,   // skipped: metrics replayed from a completed manifest record
+  kFailed,   // threw; error carries what() (failure isolation: fleet goes on)
+  kSkipped,  // not run (fleet.max_jobs budget exhausted)
+};
+
+const char* job_status_name(JobStatus s);
+
+// Everything one job contributes to the manifest stream and the aggregate.
+struct JobRecord {
+  std::size_t index = 0;
+  std::string name;
+  std::string scenario;
+  std::string hash;
+  JobStatus status = JobStatus::kDone;
+  std::uint64_t seed = 0;
+  std::vector<cli::KeyValue> params;  // the sweep point (may be empty)
+  double seconds = 0.0;               // job wall time (0 for cached/skipped)
+  std::string error;                  // what() for kFailed
+
+  // Metrics (valid for kDone/kCached).
+  bool has_surface = false;
+  double cd = 0.0, cl = 0.0, cp_max = 0.0, heat_total = 0.0;
+  std::uint64_t collisions = 0, candidates = 0;
+  std::uint64_t flow = 0;
+  std::int64_t steps = 0;
+  double usec_per_particle_step = 0.0;
+
+  // One JSON object, single line, no trailing newline.
+  std::string to_json_line() const;
+  // Parses a line written by to_json_line; nullopt on malformed input.
+  static std::optional<JobRecord> from_json_line(const std::string& line);
+};
+
+// Reads every well-formed record from a manifest JSONL file (missing file
+// => empty).  Malformed lines (e.g. a torn final line after a kill) are
+// skipped, which is exactly the resume semantics we want.
+std::vector<JobRecord> load_manifest(const std::string& path);
+
+// Completed records (kDone/kCached) keyed by content hash — the result
+// cache a resumed or repeated fleet consults.  Later records win.
+std::unordered_map<std::string, JobRecord> build_result_cache(
+    const std::vector<JobRecord>& records);
+
+// Fleet-level metadata echoed into the aggregate.
+struct FleetMeta {
+  std::string scenario;          // "serve" for mixed-scenario service runs
+  std::vector<std::string> axis_keys;
+  std::size_t fleet_threads = 1;
+  std::size_t job_threads = 1;
+};
+
+// Counts + timing for the aggregate header and the CLI exit status.
+struct FleetSummary {
+  std::size_t jobs = 0;
+  std::size_t completed = 0;  // kDone
+  std::size_t cached = 0;
+  std::size_t failed = 0;
+  std::size_t skipped = 0;
+  double elapsed_seconds = 0.0;
+  double jobs_per_second = 0.0;  // executed (kDone) jobs / elapsed
+  std::string manifest_path;
+  std::string aggregate_path;
+};
+
+FleetSummary summarize(const std::vector<JobRecord>& records,
+                       double elapsed_seconds);
+
+// The fleet aggregate: header (meta + summary) plus a result table in job
+// order, each row keyed by its swept parameters.
+std::string aggregate_json(const FleetMeta& meta, const FleetSummary& summary,
+                           std::vector<JobRecord> records);
+
+// Writes aggregate_json to `path`; throws std::runtime_error on I/O failure.
+void write_aggregate(const std::string& path, const FleetMeta& meta,
+                     const FleetSummary& summary,
+                     const std::vector<JobRecord>& records);
+
+}  // namespace cmdsmc::fleet

@@ -1,0 +1,335 @@
+#include "fleet/scheduler.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <iostream>
+
+#include "cmdp/thread_pool.h"
+#include "scenario/runner.h"
+#include "scenario/scenario.h"
+
+namespace cmdsmc::fleet {
+
+namespace {
+
+struct FleetOptionEntry {
+  const char* key;
+  const char* help;
+  void (*apply)(FleetOptions&, const std::string&, const std::string&);
+};
+
+const FleetOptionEntry kFleetOptionTable[] = {
+    {"fleet.threads", "concurrent jobs (0 = hardware/job.threads)",
+     [](FleetOptions& o, const std::string& k, const std::string& v) {
+       const int n = cli::parse_int(k, v);
+       if (n < 0) throw cli::ArgError(k + ": must be >= 0");
+       o.fleet_threads = static_cast<unsigned>(n);
+     }},
+    {"job.threads", "cmdp lanes per job",
+     [](FleetOptions& o, const std::string& k, const std::string& v) {
+       const int n = cli::parse_int(k, v);
+       if (n < 1) throw cli::ArgError(k + ": must be >= 1");
+       o.job_threads = static_cast<unsigned>(n);
+     }},
+    {"fleet.dir", "output directory (manifest.jsonl, aggregate.json)",
+     [](FleetOptions& o, const std::string&, const std::string& v) {
+       if (v.empty()) throw cli::ArgError("fleet.dir: empty path");
+       o.dir = v;
+     }},
+    {"fleet.cache", "skip jobs already completed in the manifest",
+     [](FleetOptions& o, const std::string& k, const std::string& v) {
+       o.cache = cli::parse_bool(k, v);
+     }},
+    {"fleet.max_jobs", "run at most N fresh jobs this invocation (0 = all)",
+     [](FleetOptions& o, const std::string& k, const std::string& v) {
+       const int n = cli::parse_int(k, v);
+       if (n < 0) throw cli::ArgError(k + ": must be >= 0");
+       o.max_jobs = static_cast<std::size_t>(n);
+     }},
+    {"fleet.stream", "stream each job record to stdout as it completes",
+     [](FleetOptions& o, const std::string& k, const std::string& v) {
+       o.stream = cli::parse_bool(k, v) ? &std::cout : nullptr;
+     }},
+};
+
+bool has_key(const std::vector<cli::KeyValue>& kvs, const char* key) {
+  for (const cli::KeyValue& kv : kvs)
+    if (kv.key == key) return true;
+  return false;
+}
+
+// A completed record replayed under a duplicate job's identity: metrics
+// from the completed run, index/name/params from the duplicate (indices
+// are invocation-local).
+JobRecord cached_replay(const JobRecord& done, const FleetJob& job) {
+  JobRecord rec = done;
+  rec.index = job.index;
+  rec.name = job.name;
+  rec.scenario = job.scenario;
+  rec.hash = job.hash;
+  rec.params = job.params;
+  rec.seed = job.seed;
+  rec.status = JobStatus::kCached;
+  rec.seconds = 0.0;
+  rec.error.clear();
+  return rec;
+}
+
+}  // namespace
+
+const std::vector<std::string>& fleet_option_keys() {
+  static const std::vector<std::string> keys = [] {
+    std::vector<std::string> k;
+    for (const auto& e : kFleetOptionTable) k.push_back(e.key);
+    return k;
+  }();
+  return keys;
+}
+
+bool apply_fleet_option(FleetOptions& options, const std::string& key,
+                        const std::string& value) {
+  for (const auto& e : kFleetOptionTable) {
+    if (key == e.key) {
+      e.apply(options, key, value);
+      return true;
+    }
+  }
+  // A fleet-addressed key with an unknown suffix is an error listing the
+  // valid fleet keys (cli/args style), not a pass-through.
+  if (key.rfind("fleet.", 0) == 0 || key == "job.threads" ||
+      key.rfind("job.", 0) == 0)
+    cli::throw_unknown_key(key, fleet_option_keys());
+  return false;
+}
+
+FleetScheduler::FleetScheduler(FleetOptions options)
+    : options_(std::move(options)) {
+  if (options_.job_threads < 1) options_.job_threads = 1;
+  if (options_.fleet_threads == 0) {
+    const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+    options_.fleet_threads = std::max(1u, hw / options_.job_threads);
+  }
+  meta_.scenario = "fleet";
+  meta_.fleet_threads = options_.fleet_threads;
+  meta_.job_threads = options_.job_threads;
+
+  std::error_code ec;
+  std::filesystem::create_directories(options_.dir, ec);
+  if (ec)
+    throw std::runtime_error("fleet: cannot create directory " + options_.dir +
+                             ": " + ec.message());
+  manifest_path_ = options_.dir + "/manifest.jsonl";
+  if (options_.cache) cache_ = build_result_cache(load_manifest(manifest_path_));
+  manifest_.open(manifest_path_, std::ios::app);
+  if (!manifest_)
+    throw std::runtime_error("fleet: cannot open " + manifest_path_);
+
+  start_ = std::chrono::steady_clock::now();
+  workers_.reserve(options_.fleet_threads);
+  for (unsigned w = 0; w < options_.fleet_threads; ++w)
+    workers_.emplace_back([this] { worker_main(); });
+}
+
+FleetScheduler::~FleetScheduler() {
+  if (!finished_) {
+    close();
+    for (std::thread& t : workers_) t.join();
+    workers_.clear();
+  }
+}
+
+void FleetScheduler::submit(const std::vector<FleetJob>& jobs) {
+  for (const FleetJob& job : jobs) {
+    bool cached = false;
+    bool enqueued = false;
+    JobRecord rec;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (closed_) throw std::logic_error("fleet: submit after close");
+      if (options_.cache) {
+        // cache_ and pending_ are shared with the workers' record() path;
+        // consult them under the same lock.
+        auto hit = cache_.find(job.hash);
+        if (hit != cache_.end()) {
+          rec = cached_replay(hit->second, job);
+          cached = true;
+        } else {
+          auto flight = pending_.find(job.hash);
+          if (flight != pending_.end()) {
+            // The same content is already queued or running: wait on that
+            // run instead of repeating it.  record() replays us when the
+            // original completes.
+            flight->second.push_back(job);
+          } else {
+            pending_.emplace(job.hash, std::vector<FleetJob>{});
+            queue_.push_back(job);
+            enqueued = true;
+          }
+        }
+      } else {
+        queue_.push_back(job);
+        enqueued = true;
+      }
+    }
+    if (cached)
+      record(std::move(rec));
+    else if (enqueued)
+      cv_.notify_one();
+  }
+}
+
+void FleetScheduler::close() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    closed_ = true;
+  }
+  cv_.notify_all();
+}
+
+void FleetScheduler::worker_main() {
+  // One persistent pool per worker: its Workspace arenas are reused by
+  // every job this lane of the fleet runs.
+  cmdp::ThreadPool pool(options_.job_threads);
+  while (true) {
+    FleetJob job;
+    bool skip = false;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return closed_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // closed_ && drained
+      job = std::move(queue_.front());
+      queue_.pop_front();
+      if (options_.max_jobs > 0 && executed_ >= options_.max_jobs)
+        skip = true;
+      else
+        ++executed_;
+    }
+    if (skip) {
+      JobRecord rec;
+      rec.index = job.index;
+      rec.name = job.name;
+      rec.scenario = job.scenario;
+      rec.hash = job.hash;
+      rec.params = job.params;
+      rec.seed = job.seed;
+      rec.status = JobStatus::kSkipped;
+      record(std::move(rec));
+      continue;
+    }
+    record(run_job(job, pool));
+  }
+}
+
+JobRecord FleetScheduler::run_job(const FleetJob& job,
+                                  cmdp::ThreadPool& pool) {
+  JobRecord rec;
+  rec.index = job.index;
+  rec.name = job.name;
+  rec.scenario = job.scenario;
+  rec.hash = job.hash;
+  rec.params = job.params;
+  rec.seed = job.seed;
+  const auto t0 = std::chrono::steady_clock::now();
+  try {
+    scenario::ScenarioSpec spec = scenario::get_scenario(job.scenario);
+    scenario::apply_overrides(spec, job.overrides);
+    // The derived per-job seed (see fleet/sweep.h).  For a seed-swept axis
+    // this equals the override's value, so the assignment is idempotent.
+    spec.config.seed = job.seed;
+    spec.output_prefix = options_.dir + "/" + job.name;
+    // Fleet jobs are quiet by default: the record is the result.  An
+    // explicit sinks= override on the job wins over the fleet default.
+    if (!has_key(job.overrides, "sinks")) spec.sinks = options_.job_sinks;
+
+    scenario::Runner runner(std::move(spec));
+    runner.add_spec_sinks();
+    const scenario::RunResult r = runner.run(&pool);
+
+    rec.status = JobStatus::kDone;
+    rec.flow = r.flow_count;
+    rec.steps = r.total_steps;
+    rec.collisions = r.counters.collisions;
+    rec.candidates = r.counters.candidates;
+    rec.usec_per_particle_step = r.usec_per_particle_step;
+    if (r.surface) {
+      rec.has_surface = true;
+      rec.cd = r.surface->cd;
+      rec.cl = r.surface->cl;
+      rec.cp_max = r.cp_max();
+      rec.heat_total = r.surface->heat_total;
+    }
+  } catch (const std::exception& e) {
+    // Failure isolation: one diverged or misconfigured job must not kill
+    // the fleet.  The record carries the error; the fleet exit code and
+    // aggregate count it.
+    rec.status = JobStatus::kFailed;
+    rec.error = e.what();
+  }
+  rec.seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  return rec;
+}
+
+void FleetScheduler::record(JobRecord rec) {
+  const std::string line = rec.to_json_line();
+  std::vector<JobRecord> replays;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    // Stream + flush per record: a killed fleet loses at most the jobs that
+    // were in flight, and `tail -f manifest.jsonl` is the live results feed.
+    manifest_ << line << '\n';
+    manifest_.flush();
+    if (options_.stream != nullptr) {
+      *options_.stream << line << '\n';
+      options_.stream->flush();
+    }
+    if (options_.cache) {
+      if (rec.status == JobStatus::kDone) cache_[rec.hash] = rec;
+      auto flight = pending_.find(rec.hash);
+      if (flight != pending_.end()) {
+        std::vector<FleetJob> waiters = std::move(flight->second);
+        pending_.erase(flight);
+        if (!waiters.empty()) {
+          if (rec.status == JobStatus::kDone) {
+            for (const FleetJob& dup : waiters)
+              replays.push_back(cached_replay(rec, dup));
+          } else {
+            // The run the duplicates were waiting on failed or was
+            // skipped: run the first of them for real; the rest keep
+            // waiting on that attempt.
+            FleetJob retry = std::move(waiters.front());
+            waiters.erase(waiters.begin());
+            pending_.emplace(retry.hash, std::move(waiters));
+            queue_.push_back(std::move(retry));
+            cv_.notify_one();
+          }
+        }
+      }
+    }
+    records_.push_back(std::move(rec));
+  }
+  for (JobRecord& replay : replays) record(std::move(replay));
+}
+
+FleetSummary FleetScheduler::finish() {
+  close();
+  for (std::thread& t : workers_) t.join();
+  workers_.clear();
+  finished_ = true;
+
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start_)
+          .count();
+  std::sort(records_.begin(), records_.end(),
+            [](const JobRecord& a, const JobRecord& b) {
+              return a.index < b.index;
+            });
+  FleetSummary summary = summarize(records_, elapsed);
+  summary.manifest_path = manifest_path_;
+  summary.aggregate_path = options_.dir + "/aggregate.json";
+  write_aggregate(summary.aggregate_path, meta_, summary, records_);
+  return summary;
+}
+
+}  // namespace cmdsmc::fleet

@@ -1,0 +1,128 @@
+// The fleet scheduler: a work queue pushing many *independent* Simulation
+// instances through the machine concurrently — the paper's throughput story
+// applied across runs instead of within one.
+//
+// Shape: `fleet.threads` worker threads, each owning ONE persistent
+// cmdp::ThreadPool of `job.threads` lanes that is reused for every job the
+// worker picks up (per-thread Workspace arenas stay warm across jobs).
+// Jobs are fully independent; physics is thread-count invariant, so a job's
+// result is bit-identical to the same spec run standalone via `cmdsmc run`
+// with the job's derived seed.
+//
+// Failure isolation: a job that throws is recorded as failed with its error
+// message and the fleet keeps going.  Every record is appended to the
+// manifest JSONL and flushed as soon as the job finishes, so a killed fleet
+// resumes from exactly the set of jobs whose records made it to disk; the
+// manifest doubles as a content-hash result cache that skips
+// already-completed jobs on restart (or on a repeated identical sweep).
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <fstream>
+#include <iosfwd>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "fleet/results.h"
+#include "fleet/sweep.h"
+
+namespace cmdsmc::cmdp {
+class ThreadPool;
+}
+
+namespace cmdsmc::fleet {
+
+struct FleetOptions {
+  // Concurrent jobs (fleet.threads); 0 picks hardware_concurrency /
+  // job_threads, at least 1.
+  unsigned fleet_threads = 0;
+  // cmdp lanes per job (job.threads).  Independent jobs saturate the
+  // machine at job.threads=1; raise it to shorten individual job latency.
+  unsigned job_threads = 1;
+  // Output directory: manifest.jsonl, aggregate.json and per-job outputs.
+  std::string dir = "fleet_out";
+  // Consult the manifest's content-hash cache and skip completed jobs.
+  bool cache = true;
+  // Process at most this many fresh jobs this invocation (0 = unlimited);
+  // the rest are recorded as skipped.  Incremental fills and resume tests.
+  std::size_t max_jobs = 0;
+  // Sinks each job writes (same names as the `sinks=` override).  Default
+  // none: the manifest record is the result.  A job whose overrides carry
+  // an explicit `sinks=` keeps that instead.
+  std::vector<std::string> job_sinks;
+  // When set, every record line is also streamed here (serve mode).
+  std::ostream* stream = nullptr;
+};
+
+// Parses one fleet option key=value ("fleet.*" / "job.threads").  Returns
+// false when the key is not fleet-addressed; throws cli::ArgError on a
+// fleet-addressed key with an unknown suffix or malformed value.
+bool apply_fleet_option(FleetOptions& options, const std::string& key,
+                        const std::string& value);
+
+// The fleet option keys, for error messages and docs.
+const std::vector<std::string>& fleet_option_keys();
+
+class FleetScheduler {
+ public:
+  // Creates the output directory, loads the manifest cache (when
+  // options.cache) and starts the workers.  Throws on I/O failure.
+  explicit FleetScheduler(FleetOptions options);
+  ~FleetScheduler();
+
+  FleetScheduler(const FleetScheduler&) = delete;
+  FleetScheduler& operator=(const FleetScheduler&) = delete;
+
+  const FleetOptions& options() const { return options_; }
+
+  // Aggregate metadata (sweep scenario + axis keys); optional.
+  void set_meta(const FleetMeta& meta) { meta_ = meta; }
+
+  // Enqueues jobs; cache hits are recorded immediately (kCached) without
+  // entering the queue, and a job whose content hash is already queued or
+  // in flight waits on that run and replays its record when it completes
+  // (the serve-mode "identical request" fast path).  Safe to call
+  // repeatedly until close().
+  void submit(const std::vector<FleetJob>& jobs);
+
+  // No more submissions; workers drain the queue and exit.
+  void close();
+
+  // close() + join, then writes <dir>/aggregate.json and returns the
+  // summary.  Records (in job-index order) remain readable afterwards.
+  FleetSummary finish();
+
+  // Valid after finish().
+  const std::vector<JobRecord>& records() const { return records_; }
+
+ private:
+  void worker_main();
+  JobRecord run_job(const FleetJob& job, cmdp::ThreadPool& pool);
+  void record(JobRecord rec);
+
+  FleetOptions options_;
+  FleetMeta meta_;
+  std::unordered_map<std::string, JobRecord> cache_;
+  std::ofstream manifest_;
+  std::string manifest_path_;
+  std::chrono::steady_clock::time_point start_;
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<FleetJob> queue_;
+  // Hash -> duplicates waiting on the queued/in-flight run of that hash.
+  // An entry exists (possibly empty) for every hash currently in flight.
+  std::unordered_map<std::string, std::vector<FleetJob>> pending_;
+  bool closed_ = false;
+  bool finished_ = false;
+  std::size_t executed_ = 0;  // fresh jobs started (max_jobs budget)
+  std::vector<JobRecord> records_;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace cmdsmc::fleet

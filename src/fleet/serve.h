@@ -1,0 +1,52 @@
+// `cmdsmc serve`: the long-running service mode.  Job specs arrive as
+// lines — from stdin, or from *.job files dropped into a spool directory —
+// are expanded through the sweep grammar, scheduled on the fleet, and
+// answered as streaming JSONL records on stdout.
+//
+// Line protocol (one request per line):
+//   <scenario> [key=value ...] [sweep:key=spec ...]
+//   # comments and blank lines are ignored
+// A malformed line is answered with a {"event": "reject", ...} record and
+// the service keeps running; with the result cache on, a request whose
+// content hash was already computed is answered instantly from the
+// manifest — the Cd/Cl/heat lookup-service story.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "fleet/scheduler.h"
+
+namespace cmdsmc::fleet {
+
+struct ServeOptions {
+  FleetOptions fleet;
+  // Default overrides prepended to every request line.
+  std::vector<cli::KeyValue> defaults;
+  // When set, poll this directory for *.job files instead of reading
+  // stdin; each processed file is renamed to <name>.done.
+  std::string spool_dir;
+  int poll_ms = 200;
+  // Drain what is available (stdin to EOF / one spool scan), then exit —
+  // the testable one-shot service.  Continuous spool polling otherwise.
+  bool once = false;
+};
+
+// Parses serve option keys (spool=, poll_ms=, once=).  Returns false when
+// the key is not serve-addressed.
+bool apply_serve_option(ServeOptions& options, const std::string& key,
+                        const std::string& value);
+
+// Parses one request line into jobs (sweep grammar allowed; job indices
+// are local to the line, so identical requests hash identically and hit
+// the cache regardless of arrival order).  Throws cli::ArgError.
+std::vector<FleetJob> parse_job_line(const std::string& line,
+                                     const std::vector<cli::KeyValue>& defaults);
+
+// Runs the service loop: requests from `in` (or the spool directory),
+// records to options.fleet.stream (and the manifest).  Returns the process
+// exit code (0 on a clean drain; failed jobs are reported in-band).
+int run_serve(ServeOptions options, std::istream& in, std::ostream& out);
+
+}  // namespace cmdsmc::fleet

@@ -1,0 +1,215 @@
+#include "fleet/sweep.h"
+
+#include <cstdio>
+
+#include "rng/rng.h"
+#include "scenario/scenario.h"
+
+namespace cmdsmc::fleet {
+
+namespace {
+
+constexpr char kSweepPrefix[] = "sweep:";
+constexpr std::size_t kSweepPrefixLen = 6;
+
+// Backstop against typo'd range counts expanding into absurd job lists.
+constexpr std::size_t kMaxJobs = 100000;
+constexpr int kMaxRangePoints = 10000;
+
+// Keeps job names filesystem- and shell-safe; swept values are free-form
+// override text ("0.5", "diffuse_isothermal", ...).
+std::string sanitize(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '.' || c == '_' || c == '-';
+    out += ok ? c : '-';
+  }
+  return out;
+}
+
+std::string job_name(const std::string& scenario, std::size_t index,
+                     const std::vector<cli::KeyValue>& params) {
+  char idx[32];
+  std::snprintf(idx, sizeof idx, "job%04zu", index);
+  std::string name = sanitize(scenario);
+  name += '_';
+  name += idx;
+  for (const cli::KeyValue& kv : params) {
+    name += '_';
+    name += sanitize(kv.key);
+    name += '-';
+    name += sanitize(kv.value);
+  }
+  return name;
+}
+
+// FNV-1a 64-bit, finished with one splitmix round so short inputs still
+// diffuse into all 64 bits.
+std::uint64_t fnv1a(std::uint64_t h, const std::string& s) {
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 0x100000001b3ull;
+  }
+  // Field separator so {"ab","c"} and {"a","bc"} hash apart.
+  h ^= 0x1f;
+  h *= 0x100000001b3ull;
+  return h;
+}
+
+}  // namespace
+
+std::size_t SweepRequest::job_count() const {
+  std::size_t n = 1;
+  for (const SweepAxis& axis : axes) {
+    if (axis.values.empty()) return 0;
+    n *= axis.values.size();
+    if (n > kMaxJobs)
+      throw cli::ArgError("sweep expands to more than " +
+                          std::to_string(kMaxJobs) + " jobs");
+  }
+  return n;
+}
+
+bool is_sweep_token(const std::string& token) {
+  return token.rfind(kSweepPrefix, 0) == 0;
+}
+
+SweepAxis parse_sweep_axis(const std::string& token) {
+  if (!is_sweep_token(token))
+    throw cli::ArgError("not a sweep token: '" + token + "'");
+  const std::string body = token.substr(kSweepPrefixLen);
+  const std::size_t eq = body.find('=');
+  if (eq == std::string::npos || eq == 0)
+    throw cli::ArgError("sweep token '" + token +
+                        "' must be sweep:key=v1,v2,... or sweep:key=lo..hi/N");
+  SweepAxis axis;
+  axis.key = body.substr(0, eq);
+  const std::string spec = body.substr(eq + 1);
+  if (spec.empty())
+    throw cli::ArgError(axis.key + ": empty sweep value list");
+
+  const std::size_t dots = spec.find("..");
+  if (dots != std::string::npos) {
+    // Range form lo..hi/N: N evenly spaced points, both ends inclusive.
+    const std::size_t slash = spec.rfind('/');
+    if (slash == std::string::npos || slash < dots + 2)
+      throw cli::ArgError(axis.key + ": range sweep needs a point count, "
+                          "e.g. " + axis.key + "=" + spec + "/8");
+    const double lo =
+        cli::parse_double(axis.key, spec.substr(0, dots));
+    const double hi =
+        cli::parse_double(axis.key, spec.substr(dots + 2, slash - dots - 2));
+    const int n = cli::parse_int(axis.key, spec.substr(slash + 1));
+    if (n < 2)
+      throw cli::ArgError(axis.key + ": range sweep needs at least 2 points");
+    if (n > kMaxRangePoints)
+      throw cli::ArgError(axis.key + ": range sweep capped at " +
+                          std::to_string(kMaxRangePoints) + " points");
+    for (int i = 0; i < n; ++i) {
+      const double v = lo + (hi - lo) * static_cast<double>(i) /
+                                static_cast<double>(n - 1);
+      char buf[32];
+      std::snprintf(buf, sizeof buf, "%.9g", v);
+      axis.values.emplace_back(buf);
+    }
+    return axis;
+  }
+
+  // List form v1,v2,...
+  std::size_t start = 0;
+  while (start <= spec.size()) {
+    const std::size_t comma = spec.find(',', start);
+    const std::string v =
+        spec.substr(start, comma == std::string::npos ? std::string::npos
+                                                      : comma - start);
+    if (v.empty())
+      throw cli::ArgError(axis.key + ": empty value in sweep list '" + spec +
+                          "'");
+    axis.values.push_back(v);
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return axis;
+}
+
+std::uint64_t derive_job_seed(std::uint64_t base_seed, std::uint64_t index) {
+  // Counter-based hash of (base seed, job index): the same splitmix64
+  // mixing the simulation RNG uses, salted so a fleet of one job never
+  // degenerates to the base stream.
+  return rng::hash4(base_seed, /*id=*/0xf1ee7ull, /*step=*/index, /*salt=*/1);
+}
+
+std::string job_content_hash(const std::string& scenario,
+                             const std::vector<cli::KeyValue>& overrides,
+                             std::uint64_t seed) {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  h = fnv1a(h, "cmdsmc-fleet-v1");
+  h = fnv1a(h, scenario);
+  for (const cli::KeyValue& kv : overrides) {
+    h = fnv1a(h, kv.key);
+    h = fnv1a(h, kv.value);
+  }
+  h = fnv1a(h, "seed=" + std::to_string(seed));
+  h = rng::mix64(h);
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "%016llx",
+                static_cast<unsigned long long>(h));
+  return buf;
+}
+
+std::vector<FleetJob> expand_sweep(const SweepRequest& request) {
+  for (std::size_t a = 0; a < request.axes.size(); ++a) {
+    if (request.axes[a].values.empty())
+      throw cli::ArgError(request.axes[a].key + ": empty sweep value list");
+    for (std::size_t b = a + 1; b < request.axes.size(); ++b)
+      if (request.axes[a].key == request.axes[b].key)
+        throw cli::ArgError("duplicate sweep axis '" + request.axes[a].key +
+                            "'");
+  }
+  const std::size_t total = request.job_count();
+
+  // Resolve the scenario and the fixed overrides once; every sweep point
+  // starts from this probe, so bad fixed keys fail before expansion and bad
+  // sweep values fail on their first job.
+  scenario::ScenarioSpec probe = scenario::get_scenario(request.scenario);
+  scenario::apply_overrides(probe, request.fixed);
+
+  bool seed_swept = false;
+  for (const SweepAxis& axis : request.axes)
+    if (axis.key == "seed") seed_swept = true;
+
+  std::vector<FleetJob> jobs;
+  jobs.reserve(total);
+  for (std::size_t j = 0; j < total; ++j) {
+    FleetJob job;
+    job.index = j;
+    job.scenario = request.scenario;
+    job.overrides = request.fixed;
+
+    // Row-major point: the last axis advances fastest.
+    job.params.resize(request.axes.size());
+    std::size_t rem = j;
+    for (std::size_t a = request.axes.size(); a-- > 0;) {
+      const SweepAxis& axis = request.axes[a];
+      job.params[a] = {axis.key, axis.values[rem % axis.values.size()]};
+      rem /= axis.values.size();
+    }
+    for (const cli::KeyValue& kv : job.params) job.overrides.push_back(kv);
+
+    // Strict validation: the point must apply cleanly onto the spec
+    // (unknown keys / malformed values throw, listing the valid keys).
+    scenario::ScenarioSpec spec = probe;
+    scenario::apply_overrides(spec, job.params);
+
+    job.seed = seed_swept ? spec.config.seed
+                          : derive_job_seed(spec.config.seed, j);
+    job.name = job_name(request.scenario, j, job.params);
+    job.hash = job_content_hash(job.scenario, job.overrides, job.seed);
+    jobs.push_back(std::move(job));
+  }
+  return jobs;
+}
+
+}  // namespace cmdsmc::fleet

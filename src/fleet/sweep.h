@@ -1,0 +1,83 @@
+// Sweep grammar: parameter-sweep tokens compiled into a deterministic job
+// list of fully-resolved scenario runs.
+//
+//   sweep:mach=4,8,12            explicit value list
+//   sweep:lambda=0.01..1/8       linear range, 8 points inclusive
+//   sweep:body.twall=0.5,1,2     any override key is sweepable
+//
+// Multiple sweep tokens cross-product (first axis slowest, last fastest),
+// so the job order — and therefore every derived job seed, name and content
+// hash — is a pure function of the request.  Validation reuses the strict
+// cli/args error style: an unknown or ill-formed key throws cli::ArgError
+// listing the valid keys, never a silent no-op.
+//
+// Every job gets its own RNG stream: the job seed is a splitmix-style hash
+// of (base seed, job index), so sweep points never share streams even when
+// the user pins seed= (the pinned value simply becomes the base).  The one
+// exception is an explicit `sweep:seed=...` axis, where the swept values
+// are used verbatim.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cli/args.h"
+
+namespace cmdsmc::fleet {
+
+// One swept parameter: the override key and its value list, in sweep order.
+struct SweepAxis {
+  std::string key;
+  std::vector<std::string> values;
+};
+
+// A sweep request: the scenario, the non-swept overrides (application
+// order), and the sweep axes (cross-product order).
+struct SweepRequest {
+  std::string scenario;
+  std::vector<cli::KeyValue> fixed;
+  std::vector<SweepAxis> axes;
+
+  // Cross-product size (1 when there are no axes: a single-job "sweep").
+  std::size_t job_count() const;
+};
+
+// True when the token uses the sweep grammar ("sweep:key=spec").
+bool is_sweep_token(const std::string& token);
+
+// Parses one "sweep:key=spec" token.  Throws cli::ArgError on a malformed
+// token (missing '=', empty key, empty/short value list, bad range).
+SweepAxis parse_sweep_axis(const std::string& token);
+
+// One fully-resolved job of a sweep.
+struct FleetJob {
+  std::size_t index = 0;     // position in the request's job order
+  std::string scenario;
+  std::string name;          // filesystem-safe: <scenario>_jobNNNN_<params>
+  // All overrides for this job in application order: request.fixed followed
+  // by this job's sweep point.  Applying these to the scenario and setting
+  // config.seed = `seed` reproduces the job standalone (`cmdsmc run`).
+  std::vector<cli::KeyValue> overrides;
+  std::vector<cli::KeyValue> params;  // the sweep point only (reporting)
+  std::uint64_t seed = 0;    // derived (or swept-verbatim) RNG seed
+  std::string hash;          // content hash of (scenario, overrides, seed)
+};
+
+// Splitmix-style per-job seed: a counter-based hash of (base seed, index).
+// Distinct for every job index, even for a pinned base seed.
+std::uint64_t derive_job_seed(std::uint64_t base_seed, std::uint64_t index);
+
+// Content hash of a resolved job (hex string).  Covers the scenario name,
+// every override in application order and the final seed — two jobs hash
+// equal iff they run the same physics.
+std::string job_content_hash(const std::string& scenario,
+                             const std::vector<cli::KeyValue>& overrides,
+                             std::uint64_t seed);
+
+// Expands the request into its deterministic job list.  Every sweep point
+// is validated by applying it onto the scenario spec, so unknown keys and
+// malformed values throw cli::ArgError exactly like `cmdsmc run` overrides.
+std::vector<FleetJob> expand_sweep(const SweepRequest& request);
+
+}  // namespace cmdsmc::fleet

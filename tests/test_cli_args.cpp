@@ -74,3 +74,30 @@ TEST(CliArgs, UnknownKeyErrorListsValidKeys) {
     EXPECT_NE(msg.find("sigma"), std::string::npos);
   }
 }
+
+TEST(CliArgs, ErrorJsonIsOneEscapedLine) {
+  const std::string json =
+      cli::error_json("usage", "unknown key 'mcah'\nvalid keys: mach");
+  EXPECT_EQ(json.find('\n'), std::string::npos);
+  EXPECT_NE(json.find("\"error\""), std::string::npos);
+  EXPECT_NE(json.find("\"type\": \"usage\""), std::string::npos);
+  EXPECT_NE(json.find("unknown key"), std::string::npos);
+  // Quotes and backslashes are escaped, newlines mapped to spaces.
+  const std::string tricky = cli::error_json("runtime", "a \"b\" c:\\d");
+  EXPECT_NE(tricky.find("a \\\"b\\\" c:\\\\d"), std::string::npos);
+}
+
+TEST(CliArgs, ErrorClassificationDrivesExitCodes) {
+  const cli::ArgError usage("bad flag");
+  const std::invalid_argument config("SimConfig: bad grid dimensions");
+  const std::runtime_error runtime("cannot open file");
+
+  EXPECT_STREQ(cli::error_type(usage), "usage");
+  EXPECT_STREQ(cli::error_type(config), "config");
+  EXPECT_STREQ(cli::error_type(runtime), "runtime");
+
+  // 2 = the caller's fault (usage/config), 3 = the environment's.
+  EXPECT_EQ(cli::error_exit_code(usage), 2);
+  EXPECT_EQ(cli::error_exit_code(config), 2);
+  EXPECT_EQ(cli::error_exit_code(runtime), 3);
+}

@@ -1,0 +1,412 @@
+// Fleet scheduler: tiny sweeps end to end — record counts, failure
+// isolation, cache replay, kill/resume via the max_jobs budget, and the
+// bit-identity of a fleet job vs the same spec run standalone.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "cmdp/thread_pool.h"
+#include "fleet/results.h"
+#include "fleet/scheduler.h"
+#include "fleet/sweep.h"
+#include "scenario/runner.h"
+#include "scenario/scenario.h"
+
+namespace fleet = cmdsmc::fleet;
+namespace scenario = cmdsmc::scenario;
+namespace cli = cmdsmc::cli;
+namespace cmdp = cmdsmc::cmdp;
+namespace fs = std::filesystem;
+
+namespace {
+
+// A cylinder flow small enough that a job takes milliseconds but still has
+// a body scene, so the records carry surface metrics (Cd/heat).  The grid
+// must keep the default cylinder (center 32,32 radius 8) inside.
+fleet::SweepRequest tiny_request() {
+  fleet::SweepRequest req;
+  req.scenario = "cylinder-mach10";
+  req.fixed = {{"nx", "64"}, {"ny", "48"}, {"ppc", "2"},
+               {"steps", "3"}, {"avg", "2"}};
+  return req;
+}
+
+std::string fresh_dir(const char* tag) {
+  // Sequential appends: GCC 12's -Wrestrict trips on chained operator+.
+  std::string dir = testing::TempDir();
+  dir += "/cmdsmc_fleet_";
+  dir += tag;
+  fs::remove_all(dir);
+  return dir;
+}
+
+const fleet::JobRecord* find_index(const std::vector<fleet::JobRecord>& recs,
+                                   std::size_t index) {
+  for (const auto& r : recs)
+    if (r.index == index) return &r;
+  return nullptr;
+}
+
+TEST(FleetScheduler, RunsAllJobsAndWritesArtifacts) {
+  const std::string dir = fresh_dir("run");
+  fleet::SweepRequest req = tiny_request();
+  req.axes.push_back(fleet::parse_sweep_axis("sweep:mach=3,5"));
+  req.axes.push_back(fleet::parse_sweep_axis("sweep:twall=0.5,1"));
+  const auto jobs = fleet::expand_sweep(req);
+  ASSERT_EQ(jobs.size(), 4u);
+
+  fleet::FleetOptions options;
+  options.fleet_threads = 2;
+  options.dir = dir;
+  fleet::FleetScheduler scheduler(options);
+  scheduler.submit(jobs);
+  const fleet::FleetSummary summary = scheduler.finish();
+
+  EXPECT_EQ(summary.jobs, 4u);
+  EXPECT_EQ(summary.completed, 4u);
+  EXPECT_EQ(summary.failed, 0u);
+  EXPECT_GT(summary.jobs_per_second, 0.0);
+
+  // Records come back in job-index order with live metrics.
+  const auto& recs = scheduler.records();
+  ASSERT_EQ(recs.size(), 4u);
+  for (std::size_t i = 0; i < recs.size(); ++i) {
+    EXPECT_EQ(recs[i].index, i);
+    EXPECT_EQ(recs[i].status, fleet::JobStatus::kDone);
+    EXPECT_TRUE(recs[i].has_surface);
+    EXPECT_GT(recs[i].flow, 0u);
+    EXPECT_GT(recs[i].collisions, 0u);
+    ASSERT_EQ(recs[i].params.size(), 2u);
+  }
+
+  // Manifest: one well-formed line per job; aggregate exists and carries
+  // the table.
+  const auto manifest = fleet::load_manifest(summary.manifest_path);
+  EXPECT_EQ(manifest.size(), 4u);
+  std::ifstream agg(summary.aggregate_path);
+  ASSERT_TRUE(agg.good());
+  std::stringstream buf;
+  buf << agg.rdbuf();
+  EXPECT_NE(buf.str().find("\"fleet\""), std::string::npos);
+  EXPECT_NE(buf.str().find("\"table\""), std::string::npos);
+  EXPECT_NE(buf.str().find("\"jobs\": 4"), std::string::npos);
+  fs::remove_all(dir);
+}
+
+TEST(FleetScheduler, FailureIsolation) {
+  const std::string dir = fresh_dir("fail");
+  fleet::SweepRequest req = tiny_request();
+  // mach=-1 parses as a sweep value but fails SimConfig::validate() inside
+  // the job — exactly the "one bad job" case.
+  req.axes.push_back(fleet::parse_sweep_axis("sweep:mach=3,-1"));
+  const auto jobs = fleet::expand_sweep(req);
+
+  fleet::FleetOptions options;
+  options.fleet_threads = 2;
+  options.dir = dir;
+  fleet::FleetScheduler scheduler(options);
+  scheduler.submit(jobs);
+  const fleet::FleetSummary summary = scheduler.finish();
+
+  EXPECT_EQ(summary.jobs, 2u);
+  EXPECT_EQ(summary.completed, 1u);
+  EXPECT_EQ(summary.failed, 1u);
+  const fleet::JobRecord* bad = find_index(scheduler.records(), 1);
+  ASSERT_NE(bad, nullptr);
+  EXPECT_EQ(bad->status, fleet::JobStatus::kFailed);
+  EXPECT_FALSE(bad->error.empty());
+  const fleet::JobRecord* good = find_index(scheduler.records(), 0);
+  ASSERT_NE(good, nullptr);
+  EXPECT_EQ(good->status, fleet::JobStatus::kDone);
+  EXPECT_GT(good->collisions, 0u);
+  fs::remove_all(dir);
+}
+
+TEST(FleetScheduler, SecondRunIsFullyCached) {
+  const std::string dir = fresh_dir("cache");
+  fleet::SweepRequest req = tiny_request();
+  req.axes.push_back(fleet::parse_sweep_axis("sweep:mach=3,5"));
+  const auto jobs = fleet::expand_sweep(req);
+
+  fleet::FleetOptions options;
+  options.fleet_threads = 2;
+  options.dir = dir;
+  std::vector<fleet::JobRecord> first;
+  {
+    fleet::FleetScheduler scheduler(options);
+    scheduler.submit(jobs);
+    const auto summary = scheduler.finish();
+    EXPECT_EQ(summary.completed, 2u);
+    first = scheduler.records();
+  }
+  {
+    fleet::FleetScheduler scheduler(options);
+    scheduler.submit(jobs);
+    const auto summary = scheduler.finish();
+    EXPECT_EQ(summary.jobs, 2u);
+    EXPECT_EQ(summary.completed, 0u);
+    EXPECT_EQ(summary.cached, 2u);
+    // Cached metrics replay the original run exactly.
+    for (std::size_t i = 0; i < 2; ++i) {
+      const fleet::JobRecord* rec = find_index(scheduler.records(), i);
+      ASSERT_NE(rec, nullptr);
+      EXPECT_EQ(rec->status, fleet::JobStatus::kCached);
+      EXPECT_EQ(rec->collisions, first[i].collisions);
+      EXPECT_EQ(rec->candidates, first[i].candidates);
+      EXPECT_EQ(rec->flow, first[i].flow);
+      EXPECT_EQ(rec->seed, first[i].seed);
+      EXPECT_DOUBLE_EQ(rec->cd, first[i].cd);
+    }
+  }
+  fs::remove_all(dir);
+}
+
+TEST(FleetScheduler, CacheDisabledRerunsEverything) {
+  const std::string dir = fresh_dir("nocache");
+  const auto jobs = fleet::expand_sweep(tiny_request());
+  fleet::FleetOptions options;
+  options.fleet_threads = 1;
+  options.dir = dir;
+  options.cache = false;
+  for (int pass = 0; pass < 2; ++pass) {
+    fleet::FleetScheduler scheduler(options);
+    scheduler.submit(jobs);
+    const auto summary = scheduler.finish();
+    EXPECT_EQ(summary.completed, 1u);
+    EXPECT_EQ(summary.cached, 0u);
+  }
+  fs::remove_all(dir);
+}
+
+TEST(FleetScheduler, ResumeAfterPartialRunMatchesUninterrupted) {
+  const std::string interrupted = fresh_dir("resume_a");
+  const std::string uninterrupted = fresh_dir("resume_b");
+  fleet::SweepRequest req = tiny_request();
+  req.axes.push_back(fleet::parse_sweep_axis("sweep:mach=3,4,5,6"));
+  const auto jobs = fleet::expand_sweep(req);
+  ASSERT_EQ(jobs.size(), 4u);
+
+  // "Killed" first pass: the budget stops the fleet after 2 fresh jobs, so
+  // the manifest holds 2 completed records — the same state a kill -9
+  // mid-sweep leaves behind (torn trailing lines are dropped on load).
+  {
+    fleet::FleetOptions options;
+    options.fleet_threads = 1;  // deterministic: jobs 0,1 run; 2,3 skipped
+    options.dir = interrupted;
+    options.max_jobs = 2;
+    fleet::FleetScheduler scheduler(options);
+    scheduler.submit(jobs);
+    const auto summary = scheduler.finish();
+    EXPECT_EQ(summary.completed, 2u);
+    EXPECT_EQ(summary.skipped, 2u);
+  }
+  // Restart: completed jobs replay from the manifest cache, the rest run.
+  std::vector<fleet::JobRecord> resumed;
+  {
+    fleet::FleetOptions options;
+    options.fleet_threads = 2;
+    options.dir = interrupted;
+    fleet::FleetScheduler scheduler(options);
+    scheduler.submit(jobs);
+    const auto summary = scheduler.finish();
+    EXPECT_EQ(summary.cached, 2u);
+    EXPECT_EQ(summary.completed, 2u);
+    EXPECT_EQ(summary.failed, 0u);
+    resumed = scheduler.records();
+  }
+  // Control: the same sweep run in one go.
+  std::vector<fleet::JobRecord> control;
+  {
+    fleet::FleetOptions options;
+    options.fleet_threads = 2;
+    options.dir = uninterrupted;
+    fleet::FleetScheduler scheduler(options);
+    scheduler.submit(jobs);
+    scheduler.finish();
+    control = scheduler.records();
+  }
+  ASSERT_EQ(resumed.size(), control.size());
+  for (std::size_t i = 0; i < control.size(); ++i) {
+    const fleet::JobRecord* r = find_index(resumed, i);
+    const fleet::JobRecord* c = find_index(control, i);
+    ASSERT_NE(r, nullptr);
+    ASSERT_NE(c, nullptr);
+    EXPECT_EQ(r->seed, c->seed);
+    EXPECT_EQ(r->hash, c->hash);
+    EXPECT_EQ(r->collisions, c->collisions) << "job " << i;
+    EXPECT_EQ(r->candidates, c->candidates) << "job " << i;
+    EXPECT_EQ(r->flow, c->flow) << "job " << i;
+    EXPECT_DOUBLE_EQ(r->cd, c->cd) << "job " << i;
+    EXPECT_DOUBLE_EQ(r->heat_total, c->heat_total) << "job " << i;
+  }
+  fs::remove_all(interrupted);
+  fs::remove_all(uninterrupted);
+}
+
+TEST(FleetScheduler, JobBitIdenticalToStandaloneRun) {
+  const std::string dir = fresh_dir("golden");
+  fleet::SweepRequest req = tiny_request();
+  req.axes.push_back(fleet::parse_sweep_axis("sweep:mach=3,5"));
+  const auto jobs = fleet::expand_sweep(req);
+
+  fleet::FleetOptions options;
+  options.fleet_threads = 2;
+  options.job_threads = 1;
+  options.dir = dir;
+  fleet::FleetScheduler scheduler(options);
+  scheduler.submit(jobs);
+  scheduler.finish();
+
+  // Re-run job 1 standalone, the way `cmdsmc run wedge-mach4 <overrides>
+  // seed=<derived>` would, on a pool of a *different* width: physics is
+  // thread-count invariant, so everything must match exactly.
+  const fleet::FleetJob& job = jobs[1];
+  scenario::ScenarioSpec spec = scenario::get_scenario(job.scenario);
+  scenario::apply_overrides(spec, job.overrides);
+  spec.config.seed = job.seed;
+  cmdp::ThreadPool pool(3);
+  scenario::Runner runner(std::move(spec));
+  const scenario::RunResult r = runner.run(&pool);
+
+  const fleet::JobRecord* rec = find_index(scheduler.records(), 1);
+  ASSERT_NE(rec, nullptr);
+  EXPECT_EQ(rec->collisions, r.counters.collisions);
+  EXPECT_EQ(rec->candidates, r.counters.candidates);
+  EXPECT_EQ(rec->flow, r.flow_count);
+  ASSERT_TRUE(r.surface.has_value());
+  EXPECT_DOUBLE_EQ(rec->cd, r.surface->cd);
+  EXPECT_DOUBLE_EQ(rec->cl, r.surface->cl);
+  EXPECT_DOUBLE_EQ(rec->heat_total, r.surface->heat_total);
+  fs::remove_all(dir);
+}
+
+TEST(FleetScheduler, StreamEmitsOneLinePerJob) {
+  const std::string dir = fresh_dir("stream");
+  const auto jobs = fleet::expand_sweep(tiny_request());
+  std::ostringstream stream;
+  fleet::FleetOptions options;
+  options.fleet_threads = 1;
+  options.dir = dir;
+  options.stream = &stream;
+  fleet::FleetScheduler scheduler(options);
+  scheduler.submit(jobs);
+  scheduler.finish();
+
+  std::istringstream lines(stream.str());
+  std::string line;
+  std::size_t n = 0;
+  while (std::getline(lines, line)) {
+    ++n;
+    EXPECT_TRUE(fleet::JobRecord::from_json_line(line).has_value())
+        << "unparseable stream line: " << line;
+  }
+  EXPECT_EQ(n, 1u);
+  fs::remove_all(dir);
+}
+
+TEST(FleetRecord, JsonRoundTrip) {
+  fleet::JobRecord rec;
+  rec.index = 7;
+  rec.name = "wedge-mach4_job0007_mach-5";
+  rec.scenario = "wedge-mach4";
+  rec.hash = "00deadbeef00cafe";
+  rec.status = fleet::JobStatus::kDone;
+  rec.seed = 0x123456789abcdef0ull;
+  rec.params = {{"mach", "5"}, {"twall", "0.5"}};
+  rec.seconds = 1.25;
+  rec.has_surface = true;
+  rec.cd = 1.875;
+  rec.cl = -0.125;
+  rec.cp_max = 2.5;
+  rec.heat_total = -3.0;
+  rec.collisions = 123456789;
+  rec.candidates = 987654321;
+  rec.flow = 424242;
+  rec.steps = 25;
+  rec.usec_per_particle_step = 0.75;
+
+  const auto parsed = fleet::JobRecord::from_json_line(rec.to_json_line());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->index, rec.index);
+  EXPECT_EQ(parsed->name, rec.name);
+  EXPECT_EQ(parsed->scenario, rec.scenario);
+  EXPECT_EQ(parsed->hash, rec.hash);
+  EXPECT_EQ(parsed->status, rec.status);
+  EXPECT_EQ(parsed->seed, rec.seed);
+  ASSERT_EQ(parsed->params.size(), 2u);
+  EXPECT_EQ(parsed->params[1].key, "twall");
+  EXPECT_EQ(parsed->params[1].value, "0.5");
+  EXPECT_TRUE(parsed->has_surface);
+  EXPECT_DOUBLE_EQ(parsed->cd, rec.cd);
+  EXPECT_DOUBLE_EQ(parsed->cl, rec.cl);
+  EXPECT_DOUBLE_EQ(parsed->heat_total, rec.heat_total);
+  EXPECT_EQ(parsed->collisions, rec.collisions);
+  EXPECT_EQ(parsed->candidates, rec.candidates);
+  EXPECT_EQ(parsed->flow, rec.flow);
+  EXPECT_EQ(parsed->steps, rec.steps);
+
+  // Errors with JSON-hostile characters survive the trip.
+  fleet::JobRecord failed;
+  failed.index = 1;
+  failed.name = "j";
+  failed.scenario = "s";
+  failed.hash = "h";
+  failed.status = fleet::JobStatus::kFailed;
+  failed.seed = 1;
+  failed.error = "bad \"value\"\nwith\\escapes";
+  const auto fparsed =
+      fleet::JobRecord::from_json_line(failed.to_json_line());
+  ASSERT_TRUE(fparsed.has_value());
+  EXPECT_EQ(fparsed->status, fleet::JobStatus::kFailed);
+  EXPECT_NE(fparsed->error.find("bad \"value\""), std::string::npos);
+}
+
+TEST(FleetRecord, ManifestSkipsTornLines) {
+  const std::string path =
+      testing::TempDir() + "/cmdsmc_fleet_torn_manifest.jsonl";
+  fleet::JobRecord rec;
+  rec.index = 0;
+  rec.name = "j";
+  rec.scenario = "s";
+  rec.hash = "abc";
+  rec.seed = 9;
+  {
+    std::ofstream out(path, std::ios::trunc);
+    out << rec.to_json_line() << '\n';
+    out << "{\"event\": \"job\", \"index\": 1, \"name\": \"tor";  // killed mid-write
+  }
+  const auto records = fleet::load_manifest(path);
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].hash, "abc");
+  fs::remove(path);
+}
+
+TEST(FleetOptions, OptionGrammar) {
+  fleet::FleetOptions options;
+  EXPECT_TRUE(fleet::apply_fleet_option(options, "fleet.threads", "4"));
+  EXPECT_EQ(options.fleet_threads, 4u);
+  EXPECT_TRUE(fleet::apply_fleet_option(options, "job.threads", "2"));
+  EXPECT_EQ(options.job_threads, 2u);
+  EXPECT_TRUE(fleet::apply_fleet_option(options, "fleet.dir", "/tmp/x"));
+  EXPECT_EQ(options.dir, "/tmp/x");
+  EXPECT_TRUE(fleet::apply_fleet_option(options, "fleet.cache", "0"));
+  EXPECT_FALSE(options.cache);
+  EXPECT_TRUE(fleet::apply_fleet_option(options, "fleet.max_jobs", "3"));
+  EXPECT_EQ(options.max_jobs, 3u);
+
+  // Non-fleet keys pass through untouched...
+  EXPECT_FALSE(fleet::apply_fleet_option(options, "mach", "4"));
+  // ...but a fleet-addressed typo is an error listing the valid keys.
+  try {
+    fleet::apply_fleet_option(options, "fleet.thread", "4");
+    FAIL() << "unknown fleet key was accepted";
+  } catch (const cli::ArgError& e) {
+    EXPECT_NE(std::string(e.what()).find("fleet.threads"), std::string::npos);
+  }
+  EXPECT_THROW(fleet::apply_fleet_option(options, "job.threads", "0"),
+               cli::ArgError);
+}
+
+}  // namespace

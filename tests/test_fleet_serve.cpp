@@ -1,0 +1,191 @@
+// Serve mode: the request-line grammar, in-band rejects, the stdin
+// service loop end to end, and spool-directory intake.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "fleet/results.h"
+#include "fleet/serve.h"
+
+namespace fleet = cmdsmc::fleet;
+namespace cli = cmdsmc::cli;
+namespace fs = std::filesystem;
+
+namespace {
+
+const std::vector<cli::KeyValue> kTinyDefaults = {
+    {"nx", "64"}, {"ny", "32"}, {"ppc", "2"}, {"steps", "3"}};
+
+std::string fresh_dir(const char* tag) {
+  // Sequential appends: GCC 12's -Wrestrict trips on chained operator+.
+  std::string dir = testing::TempDir();
+  dir += "/cmdsmc_serve_";
+  dir += tag;
+  fs::remove_all(dir);
+  return dir;
+}
+
+struct ServeOutput {
+  std::vector<fleet::JobRecord> jobs;
+  std::vector<std::string> rejects;
+};
+
+ServeOutput parse_output(const std::string& text) {
+  ServeOutput out;
+  std::istringstream lines(text);
+  std::string line;
+  while (std::getline(lines, line)) {
+    if (line.empty()) continue;
+    const auto rec = fleet::JobRecord::from_json_line(line);
+    if (rec)
+      out.jobs.push_back(*rec);
+    else if (line.find("\"event\": \"reject\"") != std::string::npos)
+      out.rejects.push_back(line);
+    else
+      ADD_FAILURE() << "unclassifiable serve output line: " << line;
+  }
+  return out;
+}
+
+TEST(ServeGrammar, ParseJobLine) {
+  const auto jobs =
+      fleet::parse_job_line("wedge-mach4 mach=5 sweep:twall=0.5,1",
+                            kTinyDefaults);
+  ASSERT_EQ(jobs.size(), 2u);
+  EXPECT_EQ(jobs[0].scenario, "wedge-mach4");
+  // Defaults come first, then the line's fixed overrides, then the point.
+  EXPECT_EQ(jobs[0].overrides.front().key, "nx");
+  EXPECT_EQ(jobs[0].overrides.back().key, "twall");
+  EXPECT_EQ(jobs[0].overrides.back().value, "0.5");
+  EXPECT_EQ(jobs[1].overrides.back().value, "1");
+  // Indices are local to the line, so an identical request hashes
+  // identically regardless of what was submitted before it.
+  EXPECT_EQ(jobs[0].index, 0u);
+  EXPECT_EQ(jobs[1].index, 1u);
+  const auto again =
+      fleet::parse_job_line("wedge-mach4 mach=5 sweep:twall=0.5,1",
+                            kTinyDefaults);
+  EXPECT_EQ(jobs[0].hash, again[0].hash);
+  EXPECT_EQ(jobs[1].hash, again[1].hash);
+}
+
+TEST(ServeGrammar, RejectsBadLines) {
+  EXPECT_THROW(fleet::parse_job_line("   ", {}), cli::ArgError);
+  EXPECT_THROW(fleet::parse_job_line("no-such-scenario", {}), cli::ArgError);
+  EXPECT_THROW(fleet::parse_job_line("wedge-mach4 bogus=1", {}),
+               cli::ArgError);
+  EXPECT_THROW(fleet::parse_job_line("wedge-mach4 sweep:mach=", {}),
+               cli::ArgError);
+}
+
+TEST(ServeGrammar, ServeOptionKeys) {
+  fleet::ServeOptions options;
+  EXPECT_TRUE(fleet::apply_serve_option(options, "spool", "/tmp/spool"));
+  EXPECT_EQ(options.spool_dir, "/tmp/spool");
+  EXPECT_TRUE(fleet::apply_serve_option(options, "poll_ms", "50"));
+  EXPECT_EQ(options.poll_ms, 50);
+  EXPECT_TRUE(fleet::apply_serve_option(options, "once", "1"));
+  EXPECT_TRUE(options.once);
+  EXPECT_FALSE(fleet::apply_serve_option(options, "mach", "4"));
+  EXPECT_THROW(fleet::apply_serve_option(options, "poll_ms", "0"),
+               cli::ArgError);
+}
+
+TEST(ServeLoop, StdinModeStreamsRecordsAndRejects) {
+  const std::string dir = fresh_dir("stdin");
+  fleet::ServeOptions options;
+  options.fleet.fleet_threads = 2;
+  options.fleet.dir = dir;
+  options.defaults = kTinyDefaults;
+
+  std::istringstream in(
+      "# comment lines and blanks are skipped\n"
+      "\n"
+      "wedge-mach4 sweep:mach=3,5\n"
+      "not-a-scenario mach=4\n"
+      "wedge-mach4 mach=6\n");
+  std::ostringstream out;
+  const int rc = fleet::run_serve(options, in, out);
+  EXPECT_EQ(rc, 0);
+
+  const ServeOutput result = parse_output(out.str());
+  EXPECT_EQ(result.jobs.size(), 3u);
+  ASSERT_EQ(result.rejects.size(), 1u);
+  EXPECT_NE(result.rejects[0].find("not-a-scenario"), std::string::npos);
+  for (const auto& job : result.jobs) {
+    EXPECT_EQ(job.status, fleet::JobStatus::kDone);
+    EXPECT_GT(job.flow, 0u);
+  }
+  // The service also leaves the fleet artifacts behind.
+  EXPECT_TRUE(fs::exists(dir + "/manifest.jsonl"));
+  EXPECT_TRUE(fs::exists(dir + "/aggregate.json"));
+  fs::remove_all(dir);
+}
+
+TEST(ServeLoop, RepeatedRequestIsServedFromCache) {
+  const std::string dir = fresh_dir("cachehit");
+  fleet::ServeOptions options;
+  options.fleet.fleet_threads = 1;
+  options.fleet.dir = dir;
+  options.defaults = kTinyDefaults;
+
+  std::istringstream in(
+      "wedge-mach4 mach=5\n"
+      "wedge-mach4 mach=5\n");
+  std::ostringstream out;
+  fleet::run_serve(options, in, out);
+
+  const ServeOutput result = parse_output(out.str());
+  ASSERT_EQ(result.jobs.size(), 2u);
+  std::size_t done = 0, cached = 0;
+  for (const auto& job : result.jobs) {
+    if (job.status == fleet::JobStatus::kDone) ++done;
+    if (job.status == fleet::JobStatus::kCached) ++cached;
+  }
+  EXPECT_EQ(done, 1u);
+  EXPECT_EQ(cached, 1u);
+  EXPECT_EQ(result.jobs[0].hash, result.jobs[1].hash);
+  EXPECT_EQ(result.jobs[0].collisions, result.jobs[1].collisions);
+  fs::remove_all(dir);
+}
+
+TEST(ServeLoop, SpoolModeProcessesAndRetiresJobFiles) {
+  const std::string dir = fresh_dir("spool_out");
+  const std::string spool = fresh_dir("spool_in");
+  fs::create_directories(spool);
+  {
+    std::ofstream f(spool + "/a.job");
+    f << "wedge-mach4 sweep:mach=3,5\n";
+    f << "# trailing comment\n";
+  }
+  {
+    std::ofstream f(spool + "/b.job");
+    f << "bad-scenario\n";
+  }
+
+  fleet::ServeOptions options;
+  options.fleet.fleet_threads = 2;
+  options.fleet.dir = dir;
+  options.defaults = kTinyDefaults;
+  options.spool_dir = spool;
+  options.once = true;
+
+  std::istringstream in;  // unused in spool mode
+  std::ostringstream out;
+  const int rc = fleet::run_serve(options, in, out);
+  EXPECT_EQ(rc, 0);
+
+  const ServeOutput result = parse_output(out.str());
+  EXPECT_EQ(result.jobs.size(), 2u);
+  EXPECT_EQ(result.rejects.size(), 1u);
+  // Processed files are renamed so the next scan skips them.
+  EXPECT_FALSE(fs::exists(spool + "/a.job"));
+  EXPECT_TRUE(fs::exists(spool + "/a.job.done"));
+  EXPECT_FALSE(fs::exists(spool + "/b.job"));
+  fs::remove_all(dir);
+  fs::remove_all(spool);
+}
+
+}  // namespace

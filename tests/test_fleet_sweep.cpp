@@ -1,0 +1,209 @@
+// Sweep grammar: expansion counts, range/step forms, cross-products,
+// strict rejection of unknown/ill-formed sweep keys, determinism of the
+// job order, and per-job seed derivation.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "fleet/sweep.h"
+
+namespace fleet = cmdsmc::fleet;
+namespace cli = cmdsmc::cli;
+
+namespace {
+
+fleet::SweepRequest wedge_request() {
+  fleet::SweepRequest req;
+  req.scenario = "wedge-mach4";
+  req.fixed = {{"nx", "64"}, {"ny", "32"}, {"ppc", "2"}, {"steps", "5"}};
+  return req;
+}
+
+TEST(SweepToken, Detection) {
+  EXPECT_TRUE(fleet::is_sweep_token("sweep:mach=4,8"));
+  EXPECT_FALSE(fleet::is_sweep_token("mach=4"));
+  EXPECT_FALSE(fleet::is_sweep_token("swep:mach=4"));
+}
+
+TEST(SweepToken, ListForm) {
+  const fleet::SweepAxis axis = fleet::parse_sweep_axis("sweep:mach=4,8,12");
+  EXPECT_EQ(axis.key, "mach");
+  ASSERT_EQ(axis.values.size(), 3u);
+  EXPECT_EQ(axis.values[0], "4");
+  EXPECT_EQ(axis.values[1], "8");
+  EXPECT_EQ(axis.values[2], "12");
+}
+
+TEST(SweepToken, RangeForm) {
+  const fleet::SweepAxis axis = fleet::parse_sweep_axis("sweep:lambda=0..1/5");
+  EXPECT_EQ(axis.key, "lambda");
+  ASSERT_EQ(axis.values.size(), 5u);
+  EXPECT_EQ(axis.values.front(), "0");
+  EXPECT_EQ(axis.values[1], "0.25");
+  EXPECT_EQ(axis.values.back(), "1");
+}
+
+TEST(SweepToken, RangeEndsInclusive) {
+  const fleet::SweepAxis axis =
+      fleet::parse_sweep_axis("sweep:mach=4..12/3");
+  ASSERT_EQ(axis.values.size(), 3u);
+  EXPECT_EQ(axis.values[0], "4");
+  EXPECT_EQ(axis.values[1], "8");
+  EXPECT_EQ(axis.values[2], "12");
+}
+
+TEST(SweepToken, Malformed) {
+  EXPECT_THROW(fleet::parse_sweep_axis("sweep:mach"), cli::ArgError);
+  EXPECT_THROW(fleet::parse_sweep_axis("sweep:=4,8"), cli::ArgError);
+  EXPECT_THROW(fleet::parse_sweep_axis("sweep:mach="), cli::ArgError);
+  EXPECT_THROW(fleet::parse_sweep_axis("sweep:mach=4,,8"), cli::ArgError);
+  EXPECT_THROW(fleet::parse_sweep_axis("sweep:mach=4,8,"), cli::ArgError);
+  // Range needs a point count, >= 2 of them, and numeric endpoints.
+  EXPECT_THROW(fleet::parse_sweep_axis("sweep:mach=4..12"), cli::ArgError);
+  EXPECT_THROW(fleet::parse_sweep_axis("sweep:mach=4..12/1"), cli::ArgError);
+  EXPECT_THROW(fleet::parse_sweep_axis("sweep:mach=a..12/3"), cli::ArgError);
+  EXPECT_THROW(fleet::parse_sweep_axis("sweep:mach=4..b/3"), cli::ArgError);
+  EXPECT_THROW(fleet::parse_sweep_axis("sweep:mach=4..12/x"), cli::ArgError);
+}
+
+TEST(SweepExpand, CrossProductCountAndOrder) {
+  fleet::SweepRequest req = wedge_request();
+  req.axes.push_back(fleet::parse_sweep_axis("sweep:mach=3,4,5"));
+  req.axes.push_back(fleet::parse_sweep_axis("sweep:lambda=0.1,0.3"));
+  EXPECT_EQ(req.job_count(), 6u);
+
+  const std::vector<fleet::FleetJob> jobs = fleet::expand_sweep(req);
+  ASSERT_EQ(jobs.size(), 6u);
+  // Row-major: the LAST axis advances fastest.
+  EXPECT_EQ(jobs[0].params[0].value, "3");
+  EXPECT_EQ(jobs[0].params[1].value, "0.1");
+  EXPECT_EQ(jobs[1].params[0].value, "3");
+  EXPECT_EQ(jobs[1].params[1].value, "0.3");
+  EXPECT_EQ(jobs[2].params[0].value, "4");
+  EXPECT_EQ(jobs[5].params[0].value, "5");
+  EXPECT_EQ(jobs[5].params[1].value, "0.3");
+  // Every job carries the fixed overrides followed by its point.
+  ASSERT_EQ(jobs[0].overrides.size(), req.fixed.size() + 2);
+  EXPECT_EQ(jobs[0].overrides[0].key, "nx");
+  EXPECT_EQ(jobs[0].overrides.back().key, "lambda");
+}
+
+TEST(SweepExpand, DeterministicAcrossCalls) {
+  fleet::SweepRequest req = wedge_request();
+  req.axes.push_back(fleet::parse_sweep_axis("sweep:mach=3,4"));
+  req.axes.push_back(fleet::parse_sweep_axis("sweep:lambda=0..0.5/3"));
+  const auto a = fleet::expand_sweep(req);
+  const auto b = fleet::expand_sweep(req);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].name, b[i].name);
+    EXPECT_EQ(a[i].hash, b[i].hash);
+    EXPECT_EQ(a[i].seed, b[i].seed);
+  }
+}
+
+TEST(SweepExpand, NoAxesIsOneJob) {
+  const auto jobs = fleet::expand_sweep(wedge_request());
+  ASSERT_EQ(jobs.size(), 1u);
+  EXPECT_TRUE(jobs[0].params.empty());
+}
+
+TEST(SweepExpand, UnknownKeyRejectedListingValid) {
+  fleet::SweepRequest req = wedge_request();
+  req.axes.push_back(fleet::parse_sweep_axis("sweep:mcah=3,4"));
+  try {
+    fleet::expand_sweep(req);
+    FAIL() << "unknown sweep key was accepted";
+  } catch (const cli::ArgError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("mcah"), std::string::npos);
+    EXPECT_NE(what.find("valid keys"), std::string::npos);
+    EXPECT_NE(what.find("mach"), std::string::npos);
+  }
+}
+
+TEST(SweepExpand, MalformedValueRejected) {
+  fleet::SweepRequest req = wedge_request();
+  req.axes.push_back(fleet::parse_sweep_axis("sweep:mach=4,abc"));
+  EXPECT_THROW(fleet::expand_sweep(req), cli::ArgError);
+}
+
+TEST(SweepExpand, UnknownScenarioRejected) {
+  fleet::SweepRequest req;
+  req.scenario = "no-such-scenario";
+  EXPECT_THROW(fleet::expand_sweep(req), cli::ArgError);
+}
+
+TEST(SweepExpand, DuplicateAxisRejected) {
+  fleet::SweepRequest req = wedge_request();
+  req.axes.push_back(fleet::parse_sweep_axis("sweep:mach=3,4"));
+  req.axes.push_back(fleet::parse_sweep_axis("sweep:mach=5,6"));
+  EXPECT_THROW(fleet::expand_sweep(req), cli::ArgError);
+}
+
+TEST(SweepSeeds, DistinctEvenWhenPinned) {
+  // The satellite bugfix: a pinned seed= must still give every sweep point
+  // its own RNG stream.
+  fleet::SweepRequest req = wedge_request();
+  req.fixed.push_back({"seed", "12345"});
+  req.axes.push_back(fleet::parse_sweep_axis("sweep:mach=3,4,5,6"));
+  const auto jobs = fleet::expand_sweep(req);
+  std::set<std::uint64_t> seeds;
+  for (const auto& job : jobs) {
+    seeds.insert(job.seed);
+    EXPECT_NE(job.seed, 12345u);  // never the raw base
+  }
+  EXPECT_EQ(seeds.size(), jobs.size());
+}
+
+TEST(SweepSeeds, DerivationIsSplitmixStyleHash) {
+  const std::uint64_t base = 0x5eed5eedULL;
+  std::set<std::uint64_t> seen;
+  for (std::uint64_t i = 0; i < 1000; ++i)
+    seen.insert(fleet::derive_job_seed(base, i));
+  EXPECT_EQ(seen.size(), 1000u);
+  // Different base => different streams for the same index.
+  EXPECT_NE(fleet::derive_job_seed(1, 0), fleet::derive_job_seed(2, 0));
+  // Deterministic.
+  EXPECT_EQ(fleet::derive_job_seed(base, 7), fleet::derive_job_seed(base, 7));
+}
+
+TEST(SweepSeeds, ExplicitSeedAxisUsedVerbatim) {
+  fleet::SweepRequest req = wedge_request();
+  req.axes.push_back(fleet::parse_sweep_axis("sweep:seed=41,42"));
+  const auto jobs = fleet::expand_sweep(req);
+  ASSERT_EQ(jobs.size(), 2u);
+  EXPECT_EQ(jobs[0].seed, 41u);
+  EXPECT_EQ(jobs[1].seed, 42u);
+}
+
+TEST(SweepHash, TracksContent) {
+  fleet::SweepRequest req = wedge_request();
+  req.axes.push_back(fleet::parse_sweep_axis("sweep:mach=3,4"));
+  const auto jobs = fleet::expand_sweep(req);
+  EXPECT_NE(jobs[0].hash, jobs[1].hash);
+
+  fleet::SweepRequest other = req;
+  other.fixed.push_back({"sigma", "0.12"});
+  const auto changed = fleet::expand_sweep(other);
+  EXPECT_NE(jobs[0].hash, changed[0].hash);
+
+  // Hash is a pure function of (scenario, overrides, seed).
+  EXPECT_EQ(jobs[0].hash,
+            fleet::job_content_hash(jobs[0].scenario, jobs[0].overrides,
+                                    jobs[0].seed));
+}
+
+TEST(SweepHash, JobNamesAreFilesystemSafe) {
+  fleet::SweepRequest req = wedge_request();
+  req.axes.push_back(fleet::parse_sweep_axis("sweep:body.twall=0.5,1"));
+  req.scenario = "cylinder-mach10";
+  const auto jobs = fleet::expand_sweep(req);
+  for (const auto& job : jobs)
+    for (char c : job.name)
+      EXPECT_TRUE((c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                  (c >= '0' && c <= '9') || c == '.' || c == '_' || c == '-')
+          << "bad char '" << c << "' in " << job.name;
+}
+
+}  // namespace
