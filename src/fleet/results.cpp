@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <cerrno>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <limits>
 #include <sstream>
 #include <stdexcept>
 
@@ -43,13 +45,19 @@ void append_string_field(std::string& out, const char* key,
 }
 
 void append_number_field(std::string& out, const char* key, double value) {
+  out += ", \"";
+  out += key;
+  out += "\": ";
+  if (!std::isfinite(value)) {
+    // JSON has no nan/inf; a diverged run's metrics become null (read back
+    // as NaN by from_json_line).
+    out += "null";
+    return;
+  }
   char buf[40];
   // %.17g round-trips every finite double exactly: a cached record replayed
   // from the manifest carries bit-identical metrics to the original run.
   std::snprintf(buf, sizeof buf, "%.17g", value);
-  out += ", \"";
-  out += key;
-  out += "\": ";
   out += buf;
 }
 
@@ -196,6 +204,11 @@ bool to_u64(const std::string& s, std::uint64_t& out) {
 }
 
 bool to_double(const std::string& s, double& out) {
+  if (s == "null") {
+    // to_json_line writes non-finite metrics as null; round-trip as NaN.
+    out = std::numeric_limits<double>::quiet_NaN();
+    return true;
+  }
   char* end = nullptr;
   out = std::strtod(s.c_str(), &end);
   return end != s.c_str() && *end == '\0';

@@ -178,6 +178,13 @@ void FleetScheduler::submit(const std::vector<FleetJob>& jobs) {
   }
 }
 
+void FleetScheduler::emit_line(const std::string& line) {
+  if (options_.stream == nullptr) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  *options_.stream << line << '\n';
+  options_.stream->flush();
+}
+
 void FleetScheduler::close() {
   {
     std::lock_guard<std::mutex> lock(mu_);

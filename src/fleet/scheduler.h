@@ -90,6 +90,11 @@ class FleetScheduler {
   // repeatedly until close().
   void submit(const std::vector<FleetJob>& jobs);
 
+  // Writes one out-of-band line (e.g. a serve-mode reject) to
+  // options().stream under the same lock as the workers' record path, so
+  // the JSONL protocol never interleaves mid-line.  No-op without a stream.
+  void emit_line(const std::string& line);
+
   // No more submissions; workers drain the queue and exit.
   void close();
 

@@ -8,6 +8,7 @@
 #include <iostream>
 #include <sstream>
 #include <thread>
+#include <unordered_set>
 
 namespace cmdsmc::fleet {
 
@@ -41,10 +42,11 @@ std::vector<std::string> split_ws(const std::string& line) {
   return tokens;
 }
 
-// Submits every request line of `text`; rejects go to `out` in-band.
+// Submits every request line of `text`; rejects are streamed in-band
+// through the scheduler's lock so they never interleave with the record
+// lines the workers emit concurrently.
 void submit_text(FleetScheduler& fleet, const std::string& text,
-                 const std::vector<cli::KeyValue>& defaults,
-                 std::ostream& out) {
+                 const std::vector<cli::KeyValue>& defaults) {
   std::istringstream is(text);
   std::string line;
   while (std::getline(is, line)) {
@@ -53,17 +55,22 @@ void submit_text(FleetScheduler& fleet, const std::string& text,
     try {
       fleet.submit(parse_job_line(line, defaults));
     } catch (const std::exception& e) {
-      out << reject_line(line, e.what()) << '\n';
-      out.flush();
+      fleet.emit_line(reject_line(line, e.what()));
     }
   }
 }
 
 // One spool scan: processes every *.job file (sorted, so the intake order
 // is deterministic), renaming each to <name>.done.  Returns files seen.
+//
+// Producers must move job files into the spool atomically (write to a
+// temporary name — anything not ending in .job — then rename): a file is
+// read the moment a scan sees it, so a non-atomic write can be caught
+// half-written.  `submitted` holds files whose .done rename failed; they
+// were already submitted once and must not be resubmitted every poll.
 std::size_t scan_spool(FleetScheduler& fleet, const std::string& dir,
                        const std::vector<cli::KeyValue>& defaults,
-                       std::ostream& out) {
+                       std::unordered_set<std::string>& submitted) {
   namespace fs = std::filesystem;
   std::vector<fs::path> files;
   std::error_code ec;
@@ -73,13 +80,23 @@ std::size_t scan_spool(FleetScheduler& fleet, const std::string& dir,
   }
   std::sort(files.begin(), files.end());
   for (const fs::path& file : files) {
+    if (submitted.count(file.string()) > 0) continue;
     std::ifstream in(file);
     std::ostringstream text;
     text << in.rdbuf();
-    submit_text(fleet, text.str(), defaults, out);
+    submit_text(fleet, text.str(), defaults);
     fs::path done = file;
     done += ".done";
-    fs::rename(file, done, ec);  // best effort; a stuck rename re-reads
+    fs::rename(file, done, ec);
+    if (ec) {
+      // The file stays behind but its jobs are in flight; remember it so
+      // the next poll does not resubmit (and re-run) the same work.
+      std::fprintf(stderr, "serve: cannot retire %s: %s\n",
+                   file.c_str(), ec.message().c_str());
+      submitted.insert(file.string());
+    } else {
+      submitted.erase(file.string());
+    }
   }
   return files.size();
 }
@@ -143,14 +160,14 @@ int run_serve(ServeOptions options, std::istream& in, std::ostream& out) {
       try {
         fleet.submit(parse_job_line(line, options.defaults));
       } catch (const std::exception& e) {
-        out << reject_line(line, e.what()) << '\n';
-        out.flush();
+        fleet.emit_line(reject_line(line, e.what()));
       }
     }
   } else {
     // Spool mode: poll for *.job files; `once` drains a single scan.
+    std::unordered_set<std::string> submitted;
     while (true) {
-      scan_spool(fleet, options.spool_dir, options.defaults, out);
+      scan_spool(fleet, options.spool_dir, options.defaults, submitted);
       if (options.once) break;
       std::this_thread::sleep_for(std::chrono::milliseconds(options.poll_ms));
     }

@@ -25,7 +25,9 @@ struct ServeOptions {
   // Default overrides prepended to every request line.
   std::vector<cli::KeyValue> defaults;
   // When set, poll this directory for *.job files instead of reading
-  // stdin; each processed file is renamed to <name>.done.
+  // stdin; each processed file is renamed to <name>.done.  Producers must
+  // drop files in atomically: write under a temporary name (not *.job),
+  // then rename into place.
   std::string spool_dir;
   int poll_ms = 200;
   // Drain what is available (stdin to EOF / one spool scan), then exit —

@@ -3,8 +3,10 @@
 // bit-identity of a fleet job vs the same spec run standalone.
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <filesystem>
 #include <fstream>
+#include <limits>
 #include <sstream>
 
 #include "cmdp/thread_pool.h"
@@ -361,6 +363,32 @@ TEST(FleetRecord, JsonRoundTrip) {
   ASSERT_TRUE(fparsed.has_value());
   EXPECT_EQ(fparsed->status, fleet::JobStatus::kFailed);
   EXPECT_NE(fparsed->error.find("bad \"value\""), std::string::npos);
+}
+
+TEST(FleetRecord, NonFiniteMetricsSerializeAsNull) {
+  fleet::JobRecord rec;
+  rec.index = 2;
+  rec.name = "diverged";
+  rec.scenario = "s";
+  rec.hash = "h2";
+  rec.status = fleet::JobStatus::kDone;
+  rec.seed = 3;
+  rec.has_surface = true;
+  rec.cd = std::numeric_limits<double>::quiet_NaN();
+  rec.heat_total = std::numeric_limits<double>::infinity();
+  rec.cl = 0.5;
+
+  const std::string line = rec.to_json_line();
+  // 'nan'/'inf' are not JSON; non-finite metrics must come out as null.
+  EXPECT_EQ(line.find("nan"), std::string::npos) << line;
+  EXPECT_EQ(line.find("inf"), std::string::npos) << line;
+  EXPECT_NE(line.find("\"cd\": null"), std::string::npos) << line;
+
+  const auto parsed = fleet::JobRecord::from_json_line(line);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_TRUE(std::isnan(parsed->cd));
+  EXPECT_TRUE(std::isnan(parsed->heat_total));
+  EXPECT_DOUBLE_EQ(parsed->cl, 0.5);
 }
 
 TEST(FleetRecord, ManifestSkipsTornLines) {
