@@ -33,9 +33,10 @@ REQUIRED_KEYS = [
     "step", "flow", "reservoir", "total", "weighted_census",
     "candidates", "collisions", "reservoir_collisions", "accept_rate",
     "removed", "injected", "synthesized", "cloned", "merged",
-    "wall_events", "occ", "arena_bytes", "phase_seconds", "lanes",
+    "wall_events", "occ", "arena_bytes", "shard", "phase_seconds", "lanes",
     "imbalance", "cum",
 ]
+SHARD_KEYS = ["count", "repartitions", "imbalance", "post_imbalance"]
 PHASE_KEYS = ["move", "sort", "select_collide", "sample", "step"]
 FUSED_PHASES = ["move", "sort", "select_collide", "sample"]
 
@@ -63,6 +64,11 @@ def check_jsonl(path: str) -> int:
                 if k not in rec["phase_seconds"]:
                     print(f"check_telemetry: FAIL — {path}:{lineno}: "
                           f"phase_seconds missing '{k}'")
+                    return 1
+            for k in SHARD_KEYS:
+                if k not in rec["shard"]:
+                    print(f"check_telemetry: FAIL — {path}:{lineno}: "
+                          f"shard missing '{k}'")
                     return 1
             step = rec["step"]
             if prev_step is not None and step <= prev_step:

@@ -7,14 +7,127 @@
 //
 // The paper ratios the time by the number of particles actually in the
 // flow, ~10% less than the total; so does this bench.
+//
+// A second sweep holds the population fixed and scales the machine instead:
+// threads 1..32 through the sharded pipeline, plus a static-partition
+// (shard.enable=0) reference at 8/16/32 threads.  Results land in
+// BENCH_scaling.json — per-phase speedup, measured lane imbalance and the
+// shard gauges per point — which bench/check_bench.py --scaling gates
+// against the committed baseline's parallel efficiency.  The JSON records
+// hardware_threads so the gate can skip oversubscribed points honestly.
+#include <array>
 #include <chrono>
 #include <cstdio>
+#include <thread>
+#include <vector>
 
 #include "bench_common.h"
 #include "cmdp/thread_pool.h"
+#include "obs/step_stats.h"
+
+namespace {
+
+using namespace cmdsmc;
+using S = core::SimulationD;
+
+// Per-step observer that averages the per-phase lane-imbalance gauge
+// (max-lane / mean-lane busy seconds); attaching it also switches the
+// simulation's phase timers to per-lane accumulation, which is what we
+// want measured here.
+struct ImbalanceProbe : obs::StepObserver {
+  std::array<double, obs::StepStats::kPhases> sum{};
+  std::int64_t n = 0;
+  void on_step(const obs::StepStats& s) override {
+    for (int p = 0; p < obs::StepStats::kPhases; ++p) sum[p] += s.imbalance[p];
+    ++n;
+  }
+  double mean(int p) const { return n > 0 ? sum[p] / n : 0.0; }
+};
+
+struct Point {
+  unsigned threads = 0;
+  double wall_seconds = 0.0;
+  double usec_per = 0.0;
+  // move, sort, fused select+collide seconds from the phase timers.
+  double phase[3] = {0.0, 0.0, 0.0};
+  // Mean measured lane imbalance for the same three phases.
+  double imb[3] = {0.0, 0.0, 0.0};
+  S::ShardStats shard;
+  std::size_t total = 0, flow = 0;
+};
+
+Point run_point(core::SimConfig cfg, unsigned threads, int warmup,
+                int measured) {
+  cmdp::ThreadPool pool(threads);
+  S sim(cfg, &pool);
+  ImbalanceProbe probe;
+  sim.run(warmup);
+  sim.set_step_observer(&probe);  // per-lane timers on for the timed window
+  sim.timers().reset();
+  const auto t0 = std::chrono::steady_clock::now();
+  sim.run(measured);
+  const auto t1 = std::chrono::steady_clock::now();
+  sim.set_step_observer(nullptr);
+
+  Point pt;
+  pt.threads = threads;
+  pt.wall_seconds = std::chrono::duration<double>(t1 - t0).count();
+  pt.total = sim.total_count();
+  pt.flow = sim.flow_count();
+  pt.usec_per = 1e6 * pt.wall_seconds /
+                (static_cast<double>(pt.flow) * measured);
+  pt.phase[0] = sim.phase_seconds(S::kPhaseMove);
+  pt.phase[1] = sim.phase_seconds(S::kPhaseSort);
+  pt.phase[2] = sim.phase_seconds(S::kPhaseSelect) +
+                sim.phase_seconds(S::kPhaseCollide);
+  pt.imb[0] = probe.mean(0);
+  pt.imb[1] = probe.mean(1);
+  pt.imb[2] = probe.mean(3);  // fused select+collide runs under "collide"
+  pt.shard = sim.shard_stats();
+  return pt;
+}
+
+void print_point(const Point& p, const Point& ref, const char* tag) {
+  const double speedup = p.wall_seconds > 0.0
+                             ? ref.wall_seconds / p.wall_seconds
+                             : 0.0;
+  std::printf("%8u %10.3f %10.3f %8.2fx %8.1f%% %10.2f %12zu  %s\n",
+              p.threads, p.wall_seconds, p.usec_per, speedup,
+              100.0 * speedup / p.threads, p.imb[2], p.shard.repartitions,
+              tag);
+}
+
+void json_point(std::FILE* f, const Point& p, const Point& ref,
+                const char* indent) {
+  const double speedup =
+      p.wall_seconds > 0.0 ? ref.wall_seconds / p.wall_seconds : 0.0;
+  static const char* keys[3] = {"move_bc", "sort", "select_collide"};
+  std::fprintf(f, "%s{\"threads\": %u, \"wall_seconds\": %.6f, "
+               "\"usec_per_particle_step\": %.6f, \"speedup\": %.4f, "
+               "\"efficiency\": %.4f,\n",
+               indent, p.threads, p.wall_seconds, p.usec_per, speedup,
+               speedup / p.threads);
+  std::fprintf(f, "%s \"phases\": {", indent);
+  for (int k = 0; k < 3; ++k) {
+    const double psp =
+        p.phase[k] > 0.0 ? ref.phase[k] / p.phase[k] : 0.0;
+    std::fprintf(f,
+                 "%s\"%s\": {\"seconds\": %.6f, \"speedup\": %.4f, "
+                 "\"imbalance\": %.4f}",
+                 k == 0 ? "" : ", ", keys[k], p.phase[k], psp, p.imb[k]);
+  }
+  std::fprintf(f, "},\n");
+  std::fprintf(f,
+               "%s \"shard\": {\"count\": %u, \"repartitions\": %llu, "
+               "\"imbalance\": %.4f, \"post_imbalance\": %.4f}}",
+               indent, p.shard.shards,
+               static_cast<unsigned long long>(p.shard.repartitions),
+               p.shard.cost_imbalance, p.shard.post_imbalance);
+}
+
+}  // namespace
 
 int main() {
-  using namespace cmdsmc;
   const auto scale = bench::scale_from_env();
   auto& pool = cmdp::ThreadPool::global();
 
@@ -54,5 +167,62 @@ int main() {
               first / last);
   std::printf("(absolute numbers are hardware-bound; the reproduced claim is"
               " the decreasing shape)\n");
+
+  // --- Thread-scaling sweep: fixed population, machine grows ---
+  const unsigned hw = std::thread::hardware_concurrency();
+  const auto cfg = bench::paper_wedge_config(scale, 0.0);
+  auto cfg_static = cfg;
+  cfg_static.shard_enable = false;
+
+  std::printf("\nThread scaling: fixed population, sharded pipeline "
+              "(%u hardware threads)\n", hw);
+  std::printf("%8s %10s %10s %9s %9s %10s %12s\n", "threads", "wall[s]",
+              "usec/p/s", "speedup", "eff", "coll imb", "repartitions");
+
+  std::vector<Point> points;
+  for (unsigned t : {1u, 2u, 4u, 8u, 16u, 32u}) {
+    points.push_back(run_point(cfg, t, warmup, measured));
+    print_point(points.back(), points.front(),
+                t > hw ? "(oversubscribed)" : "");
+  }
+  std::vector<Point> static_points;
+  for (unsigned t : {8u, 16u, 32u}) {
+    static_points.push_back(run_point(cfg_static, t, warmup, measured));
+    print_point(static_points.back(), points.front(), "static partition");
+  }
+
+  std::FILE* f = std::fopen("BENCH_scaling.json", "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write BENCH_scaling.json\n");
+    return 1;
+  }
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"bench\": \"fig7_scaling\",\n");
+  std::fprintf(f, "  \"scenario\": \"wedge-mach4 (paper wind tunnel)\",\n");
+  std::fprintf(f, "  \"hardware_threads\": %u,\n", hw);
+  std::fprintf(f, "  \"particles\": %zu,\n", points.front().total);
+  std::fprintf(f, "  \"flow_particles\": %zu,\n", points.front().flow);
+  std::fprintf(f, "  \"particles_per_cell\": %g,\n", cfg.particles_per_cell);
+  std::fprintf(f, "  \"steps\": %d,\n", measured);
+  std::fprintf(f, "  \"points\": [\n");
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    json_point(f, points[i], points.front(), "    ");
+    std::fprintf(f, "%s\n", i + 1 < points.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n");
+  std::fprintf(f, "  \"static_points\": [\n");
+  for (std::size_t i = 0; i < static_points.size(); ++i) {
+    json_point(f, static_points[i], points.front(), "    ");
+    std::fprintf(f, "%s\n", i + 1 < static_points.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n");
+  std::fprintf(f, "  \"notes\": \"speedup/efficiency are vs the 1-thread "
+                  "sharded point; static_points rerun the same problem with "
+                  "shard.enable=0 (the pre-sharding lower-bound particle "
+                  "split); points past hardware_threads are oversubscribed "
+                  "and informational only\"\n");
+  std::fprintf(f, "}\n");
+  std::fclose(f);
+  std::printf("wrote BENCH_scaling.json\n");
   return 0;
 }

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "cmdp/parallel.h"
+#include "cmdp/shard.h"
 #include "cmdp/thread_pool.h"
 #include "core/particles.h"
 #include "geom/grid.h"
@@ -121,6 +122,70 @@ class FieldSampler {
         for (int m = 0; m < kMoments; ++m) dst[m] += src[m];
       }
     });
+    ++samples_;
+  }
+
+  // Per-cell accumulation over the sorted runs: after the counting sort,
+  // cell c's particles occupy [starts[c], starts[c] + counts[c]), every
+  // cell belongs to exactly one lane (its shard's owner), and moments add
+  // into sums_ in ascending index order — so the accumulated sums are
+  // bit-identical for every lane count and every shard assignment, a
+  // stronger guarantee than accumulate()'s lane-major reduction (whose
+  // summation order depends on the lane count).  Also skips accumulate()'s
+  // lanes * ncells zero-fill and reduction entirely.  When `plan` is
+  // inactive (single lane), the cells are walked in order on the control
+  // thread — producing the same bits.
+  void accumulate_sorted(cmdp::ThreadPool& pool,
+                         const ParticleStore<Real>& store,
+                         const std::uint32_t* counts,
+                         const std::uint32_t* starts,
+                         const cmdp::ShardPlan& plan,
+                         const double* weights = nullptr) {
+    using N = physics::Num<Real>;
+    const std::size_t ncells = static_cast<std::size_t>(grid_.ncells());
+    auto run = [&](std::size_t cbegin, std::size_t cend) {
+      if (cend > ncells) cend = ncells;  // reservoir band carries no field
+      for (std::size_t c = cbegin; c < cend; ++c) {
+        const std::uint32_t cnt = counts[c];
+        if (cnt == 0) continue;
+        const std::size_t s = starts[c];
+        double* m = sums_.data() + c * kMoments;
+        for (std::size_t i = s; i < s + cnt; ++i) {
+          const double vx = N::to_double(store.ux[i]);
+          const double vy = N::to_double(store.uy[i]);
+          const double vz = N::to_double(store.uz[i]);
+          const double w0 = N::to_double(store.r0[i]);
+          const double w1 = N::to_double(store.r1[i]);
+          if (weights == nullptr) {
+            m[0] += 1.0;
+            m[1] += vx;
+            m[2] += vy;
+            m[3] += vz;
+            m[4] += vx * vx + vy * vy + vz * vz;
+            m[5] += w0;
+            m[6] += w1;
+            m[7] += w0 * w0 + w1 * w1;
+          } else {
+            const double w = weights[i];
+            m[0] += w;
+            m[1] += w * vx;
+            m[2] += w * vy;
+            m[3] += w * vz;
+            m[4] += w * (vx * vx + vy * vy + vz * vz);
+            m[5] += w * w0;
+            m[6] += w * w1;
+            m[7] += w * (w0 * w0 + w1 * w1);
+          }
+        }
+      }
+    };
+    if (plan.active() && plan.lanes == pool.size()) {
+      cmdp::parallel_shards(pool, plan,
+                            [&](std::uint32_t cbegin, std::uint32_t cend,
+                                unsigned) { run(cbegin, cend); });
+    } else {
+      run(0, ncells);
+    }
     ++samples_;
   }
 

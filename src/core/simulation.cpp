@@ -119,6 +119,7 @@ Simulation<Real>::Simulation(const SimConfig& cfg, cmdp::ThreadPool* pool)
       sampler_(grid_, open_frac_, cfg_.particles_per_cell, cfg_.sigma,
                cell_volume_) {
   seed_round_ = rng::hash4_seed_round(cfg_.seed);
+  shard_collide_weight_ = cfg_.shard_collide_weight;
   u_inf_ = cfg_.closed_box ? 0.0 : cfg_.freestream_speed();
   n_inf_ = cfg_.particles_per_cell;
   ncells_ = static_cast<std::uint32_t>(grid_.ncells());
@@ -353,13 +354,20 @@ void Simulation<Real>::emit_step_stats() {
   s.reservoir = res_count_;
   s.total = store_.size();
   if (cfg_.axisymmetric) {
-    // The weighted census fell out of balance_weights this step (O(cells)).
+    // The weighted census fell out of the sort phase's per-cell refresh
+    // (O(cells)).
     double w = 0.0;
     for (double cw : cell_weight_) w += cw;
     s.weighted_census = w;
   } else {
     s.weighted_census = static_cast<double>(s.flow);
   }
+  // Sharding gauges (zeros while sharding is inactive).
+  const ShardStats sh = shard_stats();
+  s.shards = sh.shards;
+  s.repartitions = sh.repartitions;
+  s.cost_imbalance = sh.cost_imbalance;
+  s.post_imbalance = sh.post_imbalance;
   s.candidates = counters_.candidates - obs_counters0_.candidates;
   s.collisions = counters_.collisions - obs_counters0_.collisions;
   s.reservoir_collisions =
@@ -941,61 +949,200 @@ void Simulation<Real>::phase_sort() {
   }
   res_tail_ = res_count_;
   key_count_lanes_ = 0;  // consumed
+  if (cfg_.axisymmetric) refresh_cell_weight();
+  update_shards();
+}
+
+template <class Real>
+void Simulation<Real>::refresh_cell_weight() {
+  cell_weight_.resize(ncells_);
+  const double* const wp = store_.weight.data();
+  const std::uint32_t* const countsp = counts_.data();
+  const std::uint32_t* const startsp = starts_.data();
+  cmdp::parallel_for(*pool_, ncells_, [&](std::size_t c) {
+    const std::uint32_t s = startsp[c];
+    const std::uint32_t e = s + countsp[c];
+    double acc = 0.0;
+    for (std::uint32_t i = s; i < e; ++i) acc += wp[i];
+    cell_weight_[c] = acc;
+  });
+}
+
+template <class Real>
+void Simulation<Real>::update_shards() {
+  const unsigned lanes = pool_->size();
+  if (!cfg_.shard_enable || lanes <= 1) {
+    shard_plan_.clear();
+    return;
+  }
+  // Adapt the pair-vs-particle cost blend from the aggregate phase timers
+  // (always collected, unlike the per-lane tables): seconds-per-candidate in
+  // the collide phase against seconds-per-particle in move+sort.  The blend
+  // only steers where boundaries land — it cannot perturb physics — so the
+  // nondeterminism of measured seconds is confined to performance.
+  if (cfg_.shard_adapt) {
+    adapt_np_ += store_.size();
+    if (step_ - adapt_last_step_ >= cfg_.shard_rebalance_interval) {
+      const double d_coll =
+          timers_.seconds(phase_id_[kPhaseCollide]) - adapt_collide0_;
+      const double d_other = timers_.seconds(phase_id_[kPhaseMove]) +
+                             timers_.seconds(phase_id_[kPhaseSort]) -
+                             adapt_other0_;
+      const std::uint64_t d_pairs = counters_.candidates - adapt_pairs0_;
+      const std::uint64_t d_np = adapt_np_ - adapt_np0_;
+      if (d_pairs > 1000 && d_np > 1000 && d_coll > 1e-5 && d_other > 1e-5) {
+        double target = (d_coll / static_cast<double>(d_pairs)) /
+                        (d_other / static_cast<double>(d_np));
+        target = target < 0.25 ? 0.25 : (target > 16.0 ? 16.0 : target);
+        shard_collide_weight_ += 0.5 * (target - shard_collide_weight_);
+        adapt_collide0_ += d_coll;
+        adapt_other0_ += d_other;
+        adapt_pairs0_ = counters_.candidates;
+        adapt_np0_ = adapt_np_;
+        adapt_last_step_ = step_;
+      }
+    }
+  }
+  const std::uint32_t pair_cells = ncells_ + res_cells_;
+  shard_cost_.resize(pair_cells);
+  const bool res_collide = cfg_.reservoir_collisions;
+  const double cw = shard_collide_weight_;
+  const std::uint32_t* const countsp = counts_.data();
+  cmdp::parallel_for(*pool_, pair_cells, [&](std::size_t c) {
+    const double cnt = static_cast<double>(countsp[c]);
+    const bool collides = countsp[c] >= 2 && (c < ncells_ || res_collide);
+    shard_cost_[c] = cnt + (collides ? cw * (cnt * 0.5) : 0.0);
+  });
+  const unsigned nshards =
+      lanes * static_cast<unsigned>(cfg_.shard_per_lane);
+  const bool stale = !shard_plan_.active() || shard_plan_.lanes != lanes ||
+                     shard_plan_.bounds.back() != pair_cells;
+  if (!stale) {
+    shard_cost_imbalance_ = cmdp::shard_plan_imbalance(shard_plan_, shard_cost_);
+    if (shard_cost_imbalance_ <= cfg_.shard_rebalance_threshold ||
+        step_ - shard_last_step_ < cfg_.shard_rebalance_interval)
+      return;
+  }
+  shard_plan_ = cmdp::build_shard_plan(shard_cost_, nshards, lanes);
+  ++shard_repartitions_;
+  shard_last_step_ = step_;
+  shard_post_imbalance_ = shard_plan_.imbalance;
+  shard_cost_imbalance_ = shard_plan_.imbalance;
 }
 
 template <class Real>
 std::size_t Simulation<Real>::balance_weights(bool mark_dead_keys) {
   const std::size_t n0 = store_.size();
   const std::uint32_t ncells = ncells_;
-  cell_weight_.assign(ncells, 0.0);
-  constexpr std::uint32_t kNoPending = 0xffffffffu;
-  balance_pending_.assign(ncells, kNoPending);
   const std::uint32_t dead_key = sort_key_bound() - 1;
-  std::size_t dead = 0;
-  std::uint64_t cloned = 0;
-  std::uint64_t merged = 0;
-  std::vector<double>& w = store_.weight;
-  // Serial walk: split/merge decisions are sequentially dependent within a
-  // cell (the pending-partner slot), and axisymmetric runs are 2D, so the
-  // O(n) pass is a small slice of the step.  Which particles merge is
-  // randomized for free by the randomized sort order of the previous step.
-  for (std::size_t i = 0; i < n0; ++i) {
-    const std::uint32_t c = store_.cell[i];
-    if (c >= ncells) continue;  // reservoir particles carry no radial weight
-    const double wi = w[i];
-    // Credit the pre-balance weight: splits and merges both conserve the
-    // cell's total, so the census is exact either way.
-    cell_weight_[c] += wi;
-    const double wt = cell_volume_[c];
-    if (wi >= 2.0 * wt) {
-      // Inward migration built up excess weight: split into k equal copies
-      // (identical state, weight wi / k) — exact in mass, momentum and
-      // energy.
-      int k = static_cast<int>(wi / wt);
-      if (k > 8) k = 8;  // churn guard against extreme inward jumps
-      const double part = wi / k;
-      w[i] = part;
-      for (int j = 1; j < k; ++j) {
-        store_.push_clone(i);
-        store_.weight.back() = part;
-        if (mark_dead_keys) keys_.push_back(sort_key_for(store_.size() - 1));
+  std::uint64_t merged_total = 0;
+  // Fixed-granularity chunks make the pass deterministic for every lane
+  // count: the chunk walk (not the lane count) decides which particles
+  // merge, and clone slots come from a per-chunk prefix, so the result is
+  // identical whether one lane or thirty-two execute it.  Which particles
+  // merge is randomized for free by the randomized sort of the previous
+  // step; merge pairing resets at chunk boundaries (a pending light
+  // particle simply waits for the next step's pass).
+  constexpr std::size_t kChunk = 8192;
+  const std::size_t nchunks = (n0 + kChunk - 1) / kChunk;
+  // Pass A (read-only, parallel): per-chunk clone counts -> exclusive
+  // prefix, so pass B knows every chunk's first clone slot.
+  balance_clone_base_.assign(nchunks + 1, 0);
+  {
+    const double* const wp = store_.weight.data();
+    const std::uint32_t* const cellp = store_.cell.data();
+    const double* const volp = cell_volume_.data();
+    cmdp::parallel_for(*pool_, nchunks, [&](std::size_t ch) {
+      const std::size_t b = ch * kChunk;
+      const std::size_t e = b + kChunk < n0 ? b + kChunk : n0;
+      std::uint32_t clones = 0;
+      for (std::size_t i = b; i < e; ++i) {
+        const std::uint32_t c = cellp[i];
+        if (c >= ncells) continue;
+        const double wi = wp[i];
+        if (wi >= 2.0 * volp[c]) {
+          int k = static_cast<int>(wi / volp[c]);
+          if (k > 8) k = 8;  // churn guard against extreme inward jumps
+          clones += static_cast<std::uint32_t>(k - 1);
+        }
       }
-      cloned += static_cast<std::uint64_t>(k - 1);
-    } else if (wi < 0.5 * wt) {
-      // Outward migration thinned the weight: merge pairs within the cell.
-      // The mass-weighted velocity average conserves mass and momentum
-      // exactly; the kinetic energy released by averaging moves into the
-      // rotational DOF (collisions relax it back), so total energy is exact
-      // too — unlike plain Russian-roulette destruction, which conserves
-      // only in expectation.
-      std::uint32_t& pending = balance_pending_[c];
-      if (pending == kNoPending) {
-        pending = static_cast<std::uint32_t>(i);
-        continue;
-      }
-      const std::size_t j = pending;
-      const double wj = w[j];
-      const double ws = wi + wj;
+      balance_clone_base_[ch + 1] = clones;
+    });
+  }
+  for (std::size_t ch = 0; ch < nchunks; ++ch)
+    balance_clone_base_[ch + 1] += balance_clone_base_[ch];
+  const std::size_t total_clones = balance_clone_base_[nchunks];
+  if (total_clones > 0) {
+    store_.resize(n0 + total_clones);
+    if (mark_dead_keys) keys_.resize(n0 + total_clones);
+  }
+  // Per-lane merge-candidate tables, epoch-tagged by chunk: a slot is live
+  // only when its tag matches the chunk being walked, so stale entries from
+  // other chunks/steps never pair and the tables are never cleared.
+  const unsigned lanes = pool_->size();
+  const std::size_t table =
+      static_cast<std::size_t>(lanes) * ncells;
+  if (balance_pending_.size() != table ||
+      balance_epoch_ + nchunks + 1 > 0xffffffffull) {
+    balance_pending_.assign(table, 0);
+    balance_epoch_ = 0;
+  }
+  const std::uint64_t epoch0 = balance_epoch_ + 1;
+  balance_epoch_ += nchunks;
+  // Pass B (parallel over chunks): splits write their chunk's reserved
+  // clone slots, merges pair within chunk+cell.  Chunks touch disjoint
+  // slots (their own particles + their own clone range), so the pass is
+  // race-free and its writes are independent of which lane runs a chunk.
+  std::atomic<std::uint64_t> merged_acc{0};
+  const KeyParams kp = key_params();
+  pool_->parallel([&](unsigned tid) {
+    const cmdp::Range cr = cmdp::lane_range(nchunks, tid, lanes);
+    std::uint64_t local_merged = 0;
+    std::uint64_t* const pend = balance_pending_.data() +
+                                static_cast<std::size_t>(tid) * ncells;
+    double* const wp = store_.weight.data();
+    const std::uint32_t* const cellp = store_.cell.data();
+    const double* const volp = cell_volume_.data();
+    for (std::size_t ch = cr.begin; ch < cr.end; ++ch) {
+      const std::uint64_t tag = (epoch0 + ch) << 32;
+      const std::size_t b = ch * kChunk;
+      const std::size_t e = b + kChunk < n0 ? b + kChunk : n0;
+      std::size_t slot = n0 + balance_clone_base_[ch];
+      for (std::size_t i = b; i < e; ++i) {
+        const std::uint32_t c = cellp[i];
+        if (c >= ncells) continue;  // reservoir: no radial weight
+        const double wi = wp[i];
+        const double wt = volp[c];
+        if (wi >= 2.0 * wt) {
+          // Inward migration built up excess weight: split into k equal
+          // copies (identical state, weight wi / k) — exact in mass,
+          // momentum and energy.
+          int k = static_cast<int>(wi / wt);
+          if (k > 8) k = 8;
+          const double part = wi / k;
+          wp[i] = part;
+          for (int j = 1; j < k; ++j, ++slot) {
+            store_.copy_record(slot, i);
+            wp[slot] = part;
+            if (mark_dead_keys)
+              keys_[slot] = key_from(kp, slot, cellp[slot]);
+          }
+        } else if (wi < 0.5 * wt) {
+          // Outward migration thinned the weight: merge pairs within the
+          // cell.  The mass-weighted velocity average conserves mass and
+          // momentum exactly; the kinetic energy released by averaging
+          // moves into the rotational DOF (collisions relax it back), so
+          // total energy is exact too — unlike plain Russian-roulette
+          // destruction, which conserves only in expectation.
+          std::uint64_t& pending = pend[c];
+          if ((pending & 0xffffffff00000000ull) != tag) {
+            pending = tag | static_cast<std::uint64_t>(i);
+            continue;
+          }
+          const auto j =
+              static_cast<std::size_t>(pending & 0xffffffffull);
+          const double wj = wp[j];
+          const double ws = wi + wj;
       const double uxi = N::to_double(store_.ux[i]);
       const double uyi = N::to_double(store_.uy[i]);
       const double uzi = N::to_double(store_.uz[i]);
@@ -1051,20 +1198,24 @@ std::size_t Simulation<Real>::balance_weights(bool mark_dead_keys) {
           store_.v1[j] = N::from_double(0.0);
         }
       }
-      w[j] = ws;
-      w[i] = 0.0;
+      wp[j] = ws;
+      wp[i] = 0.0;
       if (mark_dead_keys) keys_[i] = dead_key;
-      ++dead;
-      ++merged;
-      // A still-light merged particle keeps waiting for the next partner.
-      pending = ws < 0.5 * wt ? static_cast<std::uint32_t>(j) : kNoPending;
+      ++local_merged;
+      // A still-light merged particle keeps waiting for the next partner
+      // (within this chunk).
+      pending = ws < 0.5 * wt ? (tag | static_cast<std::uint64_t>(j)) : 0;
+        }
+      }
     }
-  }
-  counters_.cloned += cloned;
-  counters_.merged += merged;
+    merged_acc.fetch_add(local_merged, std::memory_order_relaxed);
+  });
+  merged_total = merged_acc.load();
+  counters_.cloned += total_clones;
+  counters_.merged += merged_total;
   // Appends and re-keys invalidate the fused per-lane key histograms.
-  if (cloned != 0 || merged != 0) key_count_lanes_ = 0;
-  return dead;
+  if (total_clones != 0 || merged_total != 0) key_count_lanes_ = 0;
+  return merged_total;
 }
 
 template <class Real>
@@ -1081,6 +1232,13 @@ void Simulation<Real>::debug_rebalance() {
     ++dst;
   }
   store_.resize(dst);
+  // Keep the weighted census coherent for callers that inspect it before
+  // the next sort recomputes it from the sorted runs.
+  cell_weight_.assign(ncells_, 0.0);
+  for (std::size_t i = 0; i < dst; ++i) {
+    const std::uint32_t c = store_.cell[i];
+    if (c < ncells_) cell_weight_[c] += store_.weight[i];
+  }
 }
 
 template <class Real>
@@ -1263,9 +1421,18 @@ void Simulation<Real>::phase_select_and_collide() {
   };
   if (pool_->size() == 1 || n < cmdp::kSerialCutoff) {
     run_cells(0, pair_cells);
+  } else if (shard_plan_.active() && shard_plan_.lanes == pool_->size()) {
+    // Cell-block shards: each lane walks the contiguous cell blocks the
+    // cost partitioner assigned to it.  Per-cell work is disjoint and every
+    // RNG stream is keyed by particle index and step, so the assignment
+    // (and any repartition) is bit-identical to the static split below.
+    cmdp::parallel_shards(*pool_, shard_plan_,
+                          [&](std::uint32_t cbegin, std::uint32_t cend,
+                              unsigned) { run_cells(cbegin, cend); });
   } else {
-    // Particle-balanced cell partition: lane t owns the cells whose first
-    // particle lies in its equal share of [0, n).
+    // Static fallback (shard.enable=0): particle-balanced cell partition —
+    // lane t owns the cells whose first particle lies in its equal share of
+    // [0, n).
     const unsigned lanes = pool_->size();
     pool_->parallel([&](unsigned tid) {
       const cmdp::Range pr = cmdp::lane_range(n, tid, lanes);
@@ -1284,8 +1451,16 @@ void Simulation<Real>::phase_select_and_collide() {
 
 template <class Real>
 void Simulation<Real>::phase_sample() {
-  sampler_.accumulate(*pool_, store_, flow_count(),
-                      cfg_.axisymmetric ? store_.weight.data() : nullptr);
+  // Sharded runs accumulate per cell over the sorted runs (bit-identical
+  // for every lane count); shard.enable=0 keeps the historical lane-major
+  // reduction, whose summation order is pinned to the lane count.
+  if (cfg_.shard_enable)
+    sampler_.accumulate_sorted(
+        *pool_, store_, counts_.data(), starts_.data(), shard_plan_,
+        cfg_.axisymmetric ? store_.weight.data() : nullptr);
+  else
+    sampler_.accumulate(*pool_, store_, flow_count(),
+                        cfg_.axisymmetric ? store_.weight.data() : nullptr);
 }
 
 template <class Real>
@@ -1367,6 +1542,14 @@ void Simulation<Real>::restore(ParticleStore<Real> store,
   res_tail_ = static_cast<std::size_t>(state.res_tail);
   counters_ = state.counters;
   key_count_lanes_ = 0;  // transient per-step state; regenerate
+  // The shard plan is transient too: the first post-restore sort rebuilds
+  // it from fresh counts (the assignment carries no physics, so a restore
+  // across a different shard/lane configuration reproduces the same bits).
+  shard_plan_.clear();
+  shard_last_step_ = -1;
+  adapt_last_step_ = -1;
+  shard_cost_imbalance_ = 0.0;
+  shard_post_imbalance_ = 0.0;
   rebuild_interior_mask();
 }
 

@@ -22,6 +22,7 @@
 #include <optional>
 #include <vector>
 
+#include "cmdp/shard.h"
 #include "cmdp/thread_pool.h"
 #include "cmdp/timers.h"
 #include "core/config.h"
@@ -124,6 +125,23 @@ class Simulation {
   const SimCounters& counters() const { return counters_; }
   double plunger_x() const { return plunger_.x; }
 
+  // Cell-block sharding summary (zeros while sharding is inactive: disabled,
+  // single lane, or no step executed yet).  cost_imbalance is the predicted
+  // max/mean lane cost of the assignment the last step executed under;
+  // post_imbalance is the same gauge right after the most recent
+  // repartition — the pair shows the balancer working (drift pushes
+  // cost_imbalance up, a repartition snaps it back to ~post_imbalance).
+  struct ShardStats {
+    unsigned shards = 0;
+    std::uint64_t repartitions = 0;  // cumulative plan rebuilds
+    double cost_imbalance = 0.0;
+    double post_imbalance = 0.0;
+  };
+  ShardStats shard_stats() const {
+    return {static_cast<unsigned>(shard_plan_.count()), shard_repartitions_,
+            shard_cost_imbalance_, shard_post_imbalance_};
+  }
+
   // Phase wall-clock seconds (Table A) and their sum.
   double phase_seconds(Phase p) const { return timers_.seconds(phase_id_[p]); }
   double total_seconds() const { return timers_.total_seconds(); }
@@ -208,6 +226,16 @@ class Simulation {
   // Also accumulates the per-cell weighted census cell_weight_ the collision
   // phase divides by the annular volume.  Returns the merged-away count.
   std::size_t balance_weights(bool mark_dead_keys);
+  // Recomputes the per-cell weighted census cell_weight_ from the sorted
+  // runs (axisymmetric runs; called at the end of phase_sort, after the
+  // scatter and dead-slot truncation).  Per-cell array-order sums, so the
+  // result is independent of the lane count.
+  void refresh_cell_weight();
+  // Evaluates the shard cost model against the fresh per-cell counts,
+  // repartitions when the predicted imbalance drifted past the threshold
+  // (or the plan is stale), and adapts the collide-weight blend from the
+  // aggregate phase timers.  Called at the end of phase_sort.
+  void update_shards();
   // One fused traversal: candidate pairing + acceptance + collision.  Pairs
   // are disjoint, so fusing is bit-identical to the historical two-pass
   // select-then-collide while skipping the accept-flag round trip.
@@ -264,7 +292,13 @@ class Simulation {
   // per-step weighted per-cell census feeding the collision density.
   std::vector<double> cell_volume_;
   std::vector<double> cell_weight_;
-  std::vector<std::uint32_t> balance_pending_;  // per-cell merge candidate
+  // Balance-pass scratch: per-lane merge-candidate tables (lanes * ncells
+  // slots of epoch<<32 | index; a slot is live only when its epoch matches
+  // the chunk being walked, so the table never needs clearing) and the
+  // per-chunk clone-slot prefix of pass A.
+  std::vector<std::uint64_t> balance_pending_;
+  std::vector<std::uint32_t> balance_clone_base_;
+  std::uint64_t balance_epoch_ = 0;
   std::vector<std::uint8_t> interior_mask_;
   physics::SelectionRule rule_;
   std::uint64_t seed_round_ = 0;  // hash4_seed_round(cfg_.seed)
@@ -289,6 +323,26 @@ class Simulation {
 
   std::size_t res_count_ = 0;  // reservoir particles (anywhere in the array)
   std::size_t res_tail_ = 0;   // reservoir particles contiguous at the tail
+
+  // --- Cell-block sharding state (cmdp/shard.h) ---
+  // Rebuilt lazily by update_shards() at the end of phase_sort; transient
+  // (never checkpointed — a resumed run rebuilds it on its first step, and
+  // the assignment carries no physics).
+  cmdp::ShardPlan shard_plan_;
+  std::vector<double> shard_cost_;  // per pairing cell, refreshed per step
+  double shard_collide_weight_ = 1.0;
+  std::uint64_t shard_repartitions_ = 0;
+  double shard_cost_imbalance_ = 0.0;
+  double shard_post_imbalance_ = 0.0;
+  std::int64_t shard_last_step_ = -1;
+  // Collide-weight adaptation snapshots (phase seconds / counters at the
+  // last adaptation; np accumulates particle-steps between them).
+  std::int64_t adapt_last_step_ = -1;
+  double adapt_collide0_ = 0.0;
+  double adapt_other0_ = 0.0;
+  std::uint64_t adapt_pairs0_ = 0;
+  std::uint64_t adapt_np_ = 0;
+  std::uint64_t adapt_np0_ = 0;
 
   FieldSampler<Real> sampler_;
   bool sampling_ = false;

@@ -75,6 +75,19 @@ struct StepStats {
   // simulation's sort key/order/table buffers).
   std::size_t arena_bytes = 0;
 
+  // --- Cell-block sharding (zeros while sharding is inactive: disabled,
+  // or a single-lane pool) ---
+  unsigned shards = 0;              // shard count of the executing plan
+  std::uint64_t repartitions = 0;   // cumulative shard-plan rebuilds
+  // Predicted max-lane / mean-lane cost (blended per-cell cost model) of
+  // the assignment this step executed under, and the same gauge evaluated
+  // right after the most recent repartition.  Together with the measured
+  // per-phase `imbalance` below, the pair shows the balancer working:
+  // drift pushes cost_imbalance above post_imbalance until a repartition
+  // snaps it back.
+  double cost_imbalance = 0.0;
+  double post_imbalance = 0.0;
+
   // --- Timing ---
   // Control-thread wall seconds per phase slot, this step only.
   std::array<double, kPhases> phase_seconds{};

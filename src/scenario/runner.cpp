@@ -281,7 +281,11 @@ std::string JsonSummarySink::to_json(const RunResult& r) {
      << ", \"select_collide\": " << 100.0 * r.select_collide_seconds() / tot
      << ", \"sample\": " << 100.0 * r.phase_seconds[4] / tot
      << "},\n    \"paper_share\": {\"move\": 14, \"sort\": 27, "
-        "\"select\": 20, \"collide\": 39}}";
+        "\"select\": 20, \"collide\": 39},\n    \"shards\": " << r.shards
+     << ", \"repartitions\": " << r.repartitions
+     << ", \"imbalance\": " << r.imbalance
+     << ", \"post_repartition_imbalance\": "
+     << r.post_repartition_imbalance << "}";
   if (r.surface) {
     os << ",\n  \"surface\": {\"cd\": " << r.surface->cd
        << ", \"cl\": " << r.surface->cl << ", \"cp_max\": " << r.cp_max()
@@ -433,6 +437,11 @@ RunResult Runner::run_impl(cmdp::ThreadPool* pool) {
                           sim.phase_seconds(Sim::kPhaseCollide),
                           sim.phase_seconds(Sim::kPhaseSample)};
   result.total_seconds = sim.total_seconds();
+  const auto shard_stats = sim.shard_stats();
+  result.shards = shard_stats.shards;
+  result.repartitions = shard_stats.repartitions;
+  result.imbalance = shard_stats.cost_imbalance;
+  result.post_repartition_imbalance = shard_stats.post_imbalance;
   result.total_steps = result.steady_steps + result.avg_steps;
   if (result.total_steps > 0 && result.total_count > 0)
     result.usec_per_particle_step =

@@ -57,6 +57,15 @@ struct RunResult {
   std::int64_t total_steps = 0;
   double usec_per_particle_step = 0.0;
 
+  // Cell-block sharding summary at end of run (zeros when sharding was
+  // inactive): shard count, cumulative repartitions, and the predicted
+  // cost-imbalance pair (current assignment / right after the last
+  // repartition).
+  unsigned shards = 0;
+  std::uint64_t repartitions = 0;
+  double imbalance = 0.0;
+  double post_repartition_imbalance = 0.0;
+
   // Peak pressure coefficient over non-embedded segments (0 if no surface).
   double cp_max() const;
   // Same over one body's stats (shared by the per-body JSON/report output).

@@ -81,8 +81,11 @@ std::uint64_t state_hash(const core::Simulation<Real>& sim) {
   return h;
 }
 
-// Hash over the finalized time-averaged fields.  Lane-summed doubles, so only
-// meaningful at a pinned thread count (kGoldenThreads below).
+// Hash over the finalized time-averaged fields.  Since the cell-block
+// sharding PR the default sampler accumulates per cell in array order, so
+// this hash is thread- and shard-invariant too (with shard_enable=0 the
+// legacy lane-major reduction returns and it is only meaningful at the
+// pinned kGoldenThreads).
 std::uint64_t field_hash(const core::FieldStats& f) {
   std::uint64_t h = 1469598103934665603ull;
   h = fnv1a(h, static_cast<std::uint64_t>(f.samples));
@@ -189,16 +192,20 @@ void check(const char* name, const GoldenTriple& got,
 // Pinned pre-refactor values (see header comment).  The tandem pair was
 // pinned when the multi-body Scene landed (no pre-Scene pipeline could run
 // it); it guards the scene-accelerated path against later drift.
+// The field hashes were re-pinned when the cell-block sharding PR switched
+// field accumulation to per-cell array-order sums (an intentional
+// summation-order change that made them thread-invariant); the state and
+// diag hashes survived that PR untouched, as they must.
 constexpr GoldenTriple kGolden[6] = {
-    {0x1a0ebf06f9f54e5aull, 0x97057b93f77259fcull, 0x83726853f599984cull},
+    {0x1a0ebf06f9f54e5aull, 0x38cd33d62ea6e3d7ull, 0x83726853f599984cull},
     // wedge double ^, wedge fixed v
-    {0x52a549304519061eull, 0x3680e4194eb508b7ull, 0x45b437e2a62ca66aull},
-    {0x71f2d96154f643f1ull, 0x5ec0474e57fb5f3dull, 0x2115fcd97095ffddull},
+    {0x52a549304519061eull, 0x0b468d37601ee949ull, 0x45b437e2a62ca66aull},
+    {0x71f2d96154f643f1ull, 0xd566160955eabf63ull, 0x2115fcd97095ffddull},
     // cylinder double ^, cylinder fixed v
-    {0x3d29e0bd4bb9eff4ull, 0x251c9d1972932f3full, 0xd9542098dd6ab304ull},
-    {0x500abe99af585c80ull, 0xcb030d5264946235ull, 0x12a1458a37e9df02ull},
+    {0x3d29e0bd4bb9eff4ull, 0x3d9ca9dca00b77fdull, 0xd9542098dd6ab304ull},
+    {0x500abe99af585c80ull, 0xae4a91c8aed12b0bull, 0x12a1458a37e9df02ull},
     // tandem double ^, tandem fixed v
-    {0xb4073cb330ed867dull, 0x34810855f069eabeull, 0x839cd7da3c979a70ull},
+    {0xb4073cb330ed867dull, 0xc026021f015b9042ull, 0x839cd7da3c979a70ull},
 };
 
 }  // namespace
@@ -267,18 +274,80 @@ TEST(GoldenPipeline, TelemetryOnMatchesGolden) {
 
 // The particle state (sorted order, counters, every state bit) must not
 // depend on the thread count: the sort is stable and deterministic per lane
-// partition, all counters are integers, and no RNG draw depends on a lane id.
+// partition, all counters are integers, and no RNG draw depends on a lane
+// id.  Since the sharding PR the sampled fields accumulate per cell in
+// array order, so their hash is thread-invariant too — the 16- and 32-lane
+// legs exercise shard counts well past the pinned 3.
+// (The diag hash stays lane-summed parallel_reduce doubles and legitimately
+// changes association with the thread count; it is pinned at kGoldenThreads
+// only.)
 TEST(GoldenPipeline, StateIsThreadCountInvariant) {
-  // (The diag/field hashes are lane-summed doubles and legitimately change
-  // association with the thread count; only the particle state is compared.)
   const auto a = run_case<double>(wedge_cfg(), 1);
-  const auto b = run_case<double>(wedge_cfg(), kGoldenThreads);
-  EXPECT_EQ(a.state, b.state);
+  for (const unsigned threads : {kGoldenThreads, 16u, 32u}) {
+    const auto b = run_case<double>(wedge_cfg(), threads);
+    EXPECT_EQ(a.state, b.state) << "wedge state @ " << threads << " lanes";
+    EXPECT_EQ(a.field, b.field) << "wedge field @ " << threads << " lanes";
+  }
   const auto c = run_case<fixedpoint::Fixed32>(cylinder_cfg(), 1);
   const auto d = run_case<fixedpoint::Fixed32>(cylinder_cfg(),
                                                kGoldenThreads);
   EXPECT_EQ(c.state, d.state);
+  EXPECT_EQ(c.field, d.field);
   const auto e = run_case<double>(tandem_cfg(), 1);
-  const auto f = run_case<double>(tandem_cfg(), kGoldenThreads);
+  const auto f = run_case<double>(tandem_cfg(), 16);
   EXPECT_EQ(e.state, f.state);
+  EXPECT_EQ(e.field, f.field);
+}
+
+// The shard partitioner only decides which lane executes a cell block;
+// turning it off (the static particle-balanced split) must not move a
+// single state bit.  The shard knobs must not perturb the partition either.
+TEST(GoldenPipeline, ShardPlanDoesNotChangeState) {
+  core::SimConfig off = wedge_cfg();
+  off.shard_enable = false;
+  const auto a = run_case<double>(off, kGoldenThreads);
+  EXPECT_EQ(a.state, kGolden[0].state)
+      << "shard.enable=0 changed the particle state";
+
+  core::SimConfig aggressive = wedge_cfg();
+  aggressive.shard_per_lane = 7;
+  aggressive.shard_rebalance_threshold = 1.0;  // repartition every chance
+  aggressive.shard_rebalance_interval = 1;
+  aggressive.shard_adapt = false;
+  const auto b = run_case<double>(aggressive, kGoldenThreads);
+  EXPECT_EQ(b.state, kGolden[0].state);
+  EXPECT_EQ(b.field, kGolden[0].field);
+}
+
+// Mid-run repartitioning across a checkpoint: save at step 10, restore into
+// a simulation with a different lane count AND different shard knobs (so
+// the rebuilt plan has a different shard count and repartitions every
+// step), and finish the run.  The full golden triple must reproduce — the
+// shard plan is transient state that carries no physics.  This is the same
+// save/restore mechanism core/checkpoint.* serializes to disk.
+TEST(GoldenPipeline, RepartitionAcrossCheckpointReproducesHashes) {
+  cmdp::ThreadPool pool_a(kGoldenThreads);
+  core::SimulationD a(wedge_cfg(), &pool_a);
+  a.run(10);
+  const auto store_snapshot = a.particles();
+  const auto state_snapshot = a.resume_state();
+
+  core::SimConfig cfg_b = wedge_cfg();
+  cfg_b.shard_per_lane = 2;
+  cfg_b.shard_rebalance_threshold = 1.0;
+  cfg_b.shard_rebalance_interval = 1;
+  cmdp::ThreadPool pool_b(16);
+  core::SimulationD b(cfg_b, &pool_b);
+  b.restore(store_snapshot, state_snapshot);
+  b.run(kWarmSteps - 10);
+  b.set_sampling(true);
+  b.run(kAvgSteps);
+
+  EXPECT_EQ(state_hash(b), kGolden[0].state);
+  EXPECT_EQ(field_hash(b.field()), kGolden[0].field);
+  // The aggressive knobs really did exercise the repartitioner.
+  const auto sh = b.shard_stats();
+  EXPECT_GT(sh.shards, 0u);
+  EXPECT_GT(sh.repartitions, 1u);
+  EXPECT_GE(sh.post_imbalance, 1.0);
 }

@@ -224,6 +224,38 @@ TEST(StepStats, LaneSecondsMultiThreadBoundedByAggregate) {
   }
 }
 
+TEST(StepStats, ShardMetricsReportPlanAndImbalancePair) {
+  cmdp::ThreadPool pool(4);
+  core::SimulationD sim(small_cfg(), &pool);
+  Recorder rec;
+  sim.set_step_observer(&rec);
+  sim.run(10);
+  sim.set_step_observer(nullptr);
+
+  const auto& last = rec.steps.back();
+  // Default knobs: shard_per_lane shards per lane, first sort builds a plan.
+  EXPECT_EQ(last.shards, 4u * static_cast<unsigned>(
+                                  core::SimConfig{}.shard_per_lane));
+  EXPECT_GE(last.repartitions, 1u);
+  // The pair: current predicted imbalance (drifts between repartitions) and
+  // the value right after the last repartition (the achievable floor).
+  EXPECT_GE(last.cost_imbalance, 1.0);
+  EXPECT_GE(last.post_imbalance, 1.0);
+  // Repartition count is cumulative and non-decreasing.
+  for (std::size_t i = 1; i < rec.steps.size(); ++i)
+    EXPECT_GE(rec.steps[i].repartitions, rec.steps[i - 1].repartitions);
+
+  // Single lane: sharding never activates, the gauges read zero.
+  cmdp::ThreadPool serial(1);
+  core::SimulationD ssim(small_cfg(), &serial);
+  Recorder srec;
+  ssim.set_step_observer(&srec);
+  ssim.run(3);
+  ssim.set_step_observer(nullptr);
+  EXPECT_EQ(srec.steps.back().shards, 0u);
+  EXPECT_EQ(srec.steps.back().repartitions, 0u);
+}
+
 TEST(TelemetryJsonl, LineCarriesFullSchema) {
   cmdp::ThreadPool pool(2);
   core::SimulationD sim(small_cfg(), &pool);
@@ -237,7 +269,8 @@ TEST(TelemetryJsonl, LineCarriesFullSchema) {
        {"step", "flow", "reservoir", "total", "weighted_census",
         "candidates", "collisions", "reservoir_collisions", "accept_rate",
         "removed", "injected", "synthesized", "cloned", "merged",
-        "wall_events", "occ", "arena_bytes", "phase_seconds", "lanes",
+        "wall_events", "occ", "arena_bytes", "shard", "count",
+        "repartitions", "post_imbalance", "phase_seconds", "lanes",
         "imbalance", "cum", "move", "sort", "select_collide", "sample"}) {
     EXPECT_NE(line.find(std::string("\"") + key + "\""), std::string::npos)
         << "missing key " << key << " in: " << line;
