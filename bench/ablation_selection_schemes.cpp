@@ -26,7 +26,8 @@ core::ParticleStore<double> make_gas(const geom::Grid& grid, double ppc,
                                      std::uint64_t seed) {
   core::ParticleStore<double> s;
   rng::SplitMix64 g(seed);
-  const auto n = static_cast<std::size_t>(ppc * grid.ncells());
+  const auto n =
+      static_cast<std::size_t>(ppc * static_cast<double>(grid.ncells()));
   s.resize(n);
   for (std::size_t i = 0; i < n; ++i) {
     double x = g.next_double() * grid.nx;

@@ -127,6 +127,16 @@ def main() -> int:
     with open(args.baseline) as f:
         base = json.load(f)
 
+    # The audit hooks must be compiled out of whatever binary produced the
+    # gated number: audit mode is allowed to be arbitrarily slow, so a
+    # number from an audit build proves nothing about the shipped hot path
+    # (and "audit is free when off" is itself part of the acceptance).
+    if cur.get("audit_compiled"):
+        print("check_bench: FAIL — BENCH_pipeline.json came from a "
+              "-DCMDSMC_AUDIT=ON build; the perf gate must run the "
+              "audit-free binary")
+        return 1
+
     metric = "usec_per_particle_step"
     cur_v = float(cur[metric])
     base_v = float(base[metric])

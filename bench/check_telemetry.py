@@ -37,6 +37,8 @@ REQUIRED_KEYS = [
     "imbalance", "cum",
 ]
 SHARD_KEYS = ["count", "repartitions", "imbalance", "post_imbalance"]
+# Optional block: present only on audited runs (CMDSMC_AUDIT build + audit=1).
+AUDIT_KEYS = ["checks", "violations"]
 PHASE_KEYS = ["move", "sort", "select_collide", "sample", "step"]
 FUSED_PHASES = ["move", "sort", "select_collide", "sample"]
 
@@ -70,6 +72,12 @@ def check_jsonl(path: str) -> int:
                     print(f"check_telemetry: FAIL — {path}:{lineno}: "
                           f"shard missing '{k}'")
                     return 1
+            if "audit" in rec:
+                for k in AUDIT_KEYS:
+                    if k not in rec["audit"]:
+                        print(f"check_telemetry: FAIL — {path}:{lineno}: "
+                              f"audit missing '{k}'")
+                        return 1
             step = rec["step"]
             if prev_step is not None and step <= prev_step:
                 print(f"check_telemetry: FAIL — {path}:{lineno}: step "

@@ -40,8 +40,10 @@ int main() {
   bench::print_header("Figure 1 (paper quotes rounded theory values)");
   bench::print_row("shock angle [deg]", 45.0, fit.angle_deg,
                    "exact theory 45.34");
+  char rh_note[48];
+  std::snprintf(rh_note, sizeof rh_note, "Rankine-Hugoniot %.2f", ratio);
   bench::print_row("post-shock density ratio", 3.7, fit.density_ratio,
-                   "Rankine-Hugoniot 3.71");
+                   rh_note);
   bench::print_row("shock thickness [cells]", 3.0, fit.thickness_normal,
                    "10-90% along shock normal");
   bench::print_row("shock thickness, vertical cut", 3.0,
@@ -68,6 +70,7 @@ int main() {
   }
   if (!fan.empty())
     std::printf("rms deviation: %.3f over %zu samples\n",
-                std::sqrt(rms / fan.size()), fan.size());
+                std::sqrt(rms / static_cast<double>(fan.size())),
+                fan.size());
   return 0;
 }

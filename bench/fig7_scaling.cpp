@@ -41,7 +41,9 @@ struct ImbalanceProbe : obs::StepObserver {
     for (int p = 0; p < obs::StepStats::kPhases; ++p) sum[p] += s.imbalance[p];
     ++n;
   }
-  double mean(int p) const { return n > 0 ? sum[p] / n : 0.0; }
+  double mean(int p) const {
+    return n > 0 ? sum[p] / static_cast<double>(n) : 0.0;
+  }
 };
 
 struct Point {

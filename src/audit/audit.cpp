@@ -1,0 +1,273 @@
+#include "audit/audit.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace cmdsmc::audit {
+
+const char* family_name(Family f) {
+  switch (f) {
+    case Family::kSort:
+      return "sort";
+    case Family::kShard:
+      return "shard";
+    case Family::kConservation:
+      return "conservation";
+    case Family::kHygiene:
+      return "hygiene";
+    case Family::kCheckpoint:
+      return "checkpoint";
+  }
+  return "?";
+}
+
+std::string format_violation(const Violation& v) {
+  std::string s = "audit[";
+  s += family_name(v.family);
+  s += "] step ";
+  s += std::to_string(v.step);
+  s += " phase ";
+  s += v.phase.empty() ? "?" : v.phase;
+  if (v.cell >= 0) {
+    s += " cell ";
+    s += std::to_string(v.cell);
+  }
+  s += ": ";
+  s += v.detail;
+  return s;
+}
+
+AuditFailure::AuditFailure(Violation v)
+    : std::runtime_error(format_violation(v)), v_(std::move(v)) {}
+
+void check_sort_runs(std::span<const std::uint32_t> cell,
+                     std::span<const std::uint32_t> counts,
+                     std::span<const std::uint32_t> starts, std::int64_t step,
+                     std::vector<Violation>& out) {
+  const std::size_t n = cell.size();
+  const std::size_t pair_cells = counts.size();
+  if (starts.size() != pair_cells) {
+    out.push_back({Family::kSort, step, "sort", -1,
+                   "counts/starts table size mismatch: " +
+                       std::to_string(pair_cells) + " vs " +
+                       std::to_string(starts.size())});
+    return;
+  }
+  // starts must be the exclusive prefix sum of counts and the runs must
+  // tile [0, n) exactly.
+  std::uint64_t running = 0;
+  for (std::size_t c = 0; c < pair_cells; ++c) {
+    if (starts[c] != running) {
+      out.push_back({Family::kSort, step, "sort",
+                     static_cast<std::int64_t>(c),
+                     "starts[" + std::to_string(c) + "] = " +
+                         std::to_string(starts[c]) +
+                         " breaks the prefix sum (expected " +
+                         std::to_string(running) + ")"});
+      return;
+    }
+    running += counts[c];
+  }
+  if (running != n) {
+    out.push_back({Family::kSort, step, "sort", -1,
+                   "cell runs cover " + std::to_string(running) + " of " +
+                       std::to_string(n) +
+                       " particles: the scatter was not a bijection"});
+    return;
+  }
+  // Every particle must sit inside its keyed cell's run.
+  std::size_t bad = 0;
+  for (std::size_t c = 0; c < pair_cells && bad < 8; ++c) {
+    const std::size_t b = starts[c];
+    const std::size_t e = b + counts[c];
+    for (std::size_t i = b; i < e; ++i) {
+      if (cell[i] != c) {
+        out.push_back({Family::kSort, step, "sort",
+                       static_cast<std::int64_t>(c),
+                       "particle " + std::to_string(i) + " carries cell " +
+                           std::to_string(cell[i]) + " inside run [" +
+                           std::to_string(b) + ", " + std::to_string(e) +
+                           ") of cell " + std::to_string(c)});
+        if (++bad >= 8) break;
+      }
+    }
+  }
+}
+
+void check_shard_plan(const cmdp::ShardPlan& plan, std::uint32_t pair_cells,
+                      double reported_imbalance, double tol, std::int64_t step,
+                      std::vector<Violation>& out) {
+  const std::size_t nshards = plan.count();
+  if (nshards == 0) return;  // inactive plan: nothing to cover
+  const std::size_t out0 = out.size();
+  auto fail = [&](std::int64_t where, std::string detail) {
+    out.push_back({Family::kShard, step, "shard", where, std::move(detail)});
+  };
+  // Exact disjoint cover of [0, pair_cells).
+  if (plan.bounds.front() != 0)
+    fail(0, "bounds[0] = " + std::to_string(plan.bounds.front()) +
+                " (must be 0: shards must cover the cell range from the "
+                "start)");
+  if (plan.bounds.back() != pair_cells)
+    fail(static_cast<std::int64_t>(nshards),
+         "bounds[last] = " + std::to_string(plan.bounds.back()) +
+             " != pair_cells = " + std::to_string(pair_cells));
+  for (std::size_t s = 0; s + 1 < plan.bounds.size(); ++s) {
+    if (plan.bounds[s] > plan.bounds[s + 1]) {
+      fail(static_cast<std::int64_t>(s),
+           "bounds[" + std::to_string(s) + "] = " +
+               std::to_string(plan.bounds[s]) + " > bounds[" +
+               std::to_string(s + 1) + "] = " +
+               std::to_string(plan.bounds[s + 1]) +
+               ": shards overlap or run backwards");
+      break;
+    }
+  }
+  // order must be a permutation of the shard ids.
+  if (plan.order.size() != nshards) {
+    fail(-1, "order holds " + std::to_string(plan.order.size()) + " of " +
+                 std::to_string(nshards) + " shard ids");
+  } else {
+    std::vector<std::uint8_t> seen(nshards, 0);
+    for (const std::uint32_t s : plan.order) {
+      if (s >= nshards || seen[s]) {
+        fail(static_cast<std::int64_t>(s),
+             "order is not a permutation of the shard ids (duplicate or "
+             "out-of-range id " +
+                 std::to_string(s) + ")");
+        break;
+      }
+      seen[s] = 1;
+    }
+  }
+  // lane_begin partitions order; per-lane lists stay strictly ascending
+  // (the builder's locality contract).
+  if (plan.lane_begin.size() != plan.lanes + 1) {
+    fail(-1, "lane_begin holds " + std::to_string(plan.lane_begin.size()) +
+                 " offsets for " + std::to_string(plan.lanes) + " lanes");
+  } else if (plan.lane_begin.front() != 0 ||
+             plan.lane_begin.back() != plan.order.size()) {
+    fail(-1, "lane_begin does not span order: [" +
+                 std::to_string(plan.lane_begin.front()) + ", " +
+                 std::to_string(plan.lane_begin.back()) + ") vs " +
+                 std::to_string(plan.order.size()));
+  } else {
+    for (unsigned t = 0; t < plan.lanes; ++t) {
+      if (plan.lane_begin[t] > plan.lane_begin[t + 1]) {
+        fail(t, "lane_begin runs backwards at lane " + std::to_string(t));
+        break;
+      }
+      for (std::uint32_t k = plan.lane_begin[t];
+           k + 1 < plan.lane_begin[t + 1]; ++k) {
+        if (plan.order[k] >= plan.order[k + 1]) {
+          fail(t, "lane " + std::to_string(t) +
+                      " shard list not ascending: order[" +
+                      std::to_string(k) + "] = " +
+                      std::to_string(plan.order[k]) + " >= order[" +
+                      std::to_string(k + 1) + "] = " +
+                      std::to_string(plan.order[k + 1]));
+          t = plan.lanes - 1;  // one report is enough
+          break;
+        }
+      }
+    }
+  }
+  // Reported imbalance must match the value recomputed from shard_cost +
+  // the lane assignment (NaN skips: caller has no fresh gauge).  Pointless
+  // once the structure itself is broken.
+  if (out.size() != out0) return;
+  if (!std::isnan(reported_imbalance) &&
+      plan.shard_cost.size() == nshards && plan.lanes > 0) {
+    std::vector<double> load(plan.lanes, 0.0);
+    for (unsigned t = 0; t < plan.lanes; ++t)
+      for (std::uint32_t k = plan.lane_begin[t]; k < plan.lane_begin[t + 1];
+           ++k)
+        load[t] += plan.shard_cost[plan.order[k]];
+    double max_load = 0.0;
+    double sum = 0.0;
+    for (const double l : load) {
+      max_load = std::max(max_load, l);
+      sum += l;
+    }
+    const double recomputed =
+        sum > 0.0 ? max_load * plan.lanes / sum : 1.0;
+    const double drift = std::abs(recomputed - reported_imbalance);
+    if (drift > tol * std::max(1.0, std::abs(recomputed)))
+      fail(-1, "reported imbalance " + std::to_string(reported_imbalance) +
+                   " does not match the recomputed " +
+                   std::to_string(recomputed));
+  }
+}
+
+void CellMoments::resize(std::size_t ncells) {
+  mass.assign(ncells, 0.0);
+  px.assign(ncells, 0.0);
+  py.assign(ncells, 0.0);
+  pz.assign(ncells, 0.0);
+  energy.assign(ncells, 0.0);
+}
+
+namespace {
+bool drifted(double a, double b, double tol, double scale) {
+  return std::abs(a - b) > tol * std::max(1.0, std::max(scale, std::abs(a)));
+}
+}  // namespace
+
+void compare_cell_moments(const CellMoments& before, const CellMoments& after,
+                          double tol, std::int64_t step, const char* phase,
+                          std::vector<Violation>& out,
+                          std::size_t max_report) {
+  if (before.size() != after.size()) {
+    out.push_back({Family::kConservation, step, phase, -1,
+                   "cell-moment table size changed: " +
+                       std::to_string(before.size()) + " -> " +
+                       std::to_string(after.size())});
+    return;
+  }
+  std::size_t reported = 0;
+  for (std::size_t c = 0; c < before.size() && reported < max_report; ++c) {
+    // Scale the momentum/energy tolerance by the cell's mass-weighted
+    // magnitude: a near-empty cell's sums are tiny but its particle speeds
+    // are O(1), so rounding is O(mass), not O(sum).
+    const double scale = std::abs(before.mass[c]);
+    struct Row {
+      const char* name;
+      double b, a;
+    } rows[] = {
+        {"mass", before.mass[c], after.mass[c]},
+        {"momentum_x", before.px[c], after.px[c]},
+        {"momentum_y", before.py[c], after.py[c]},
+        {"momentum_z", before.pz[c], after.pz[c]},
+        {"energy", before.energy[c], after.energy[c]},
+    };
+    for (const Row& r : rows) {
+      if (drifted(r.b, r.a, tol, scale)) {
+        out.push_back({Family::kConservation, step, phase,
+                       static_cast<std::int64_t>(c),
+                       std::string("per-cell ") + r.name + " drifted " +
+                           std::to_string(r.b) + " -> " +
+                           std::to_string(r.a) +
+                           " across a phase that must conserve it"});
+        ++reported;
+        break;
+      }
+    }
+  }
+}
+
+void check_finite_span(std::span<const double> values, const char* what,
+                       std::int64_t step, const char* phase,
+                       std::vector<Violation>& out, std::size_t max_report) {
+  std::size_t reported = 0;
+  for (std::size_t i = 0; i < values.size() && reported < max_report; ++i) {
+    if (!std::isfinite(values[i])) {
+      out.push_back({Family::kHygiene, step, phase,
+                     static_cast<std::int64_t>(i),
+                     std::string("non-finite value in ") + what +
+                         " accumulator (slot " + std::to_string(i) + ")"});
+      ++reported;
+    }
+  }
+}
+
+}  // namespace cmdsmc::audit

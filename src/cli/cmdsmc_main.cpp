@@ -70,7 +70,10 @@ int cmd_list() {
 
 std::string grid_string(const core::SimConfig& cfg) {
   std::string g = std::to_string(cfg.nx) + "x" + std::to_string(cfg.ny);
-  if (cfg.nz > 0) g += "x" + std::to_string(cfg.nz);
+  if (cfg.nz > 0) {
+    g += 'x';
+    g += std::to_string(cfg.nz);
+  }
   if (cfg.axisymmetric) g += " (z-r)";
   return g;
 }

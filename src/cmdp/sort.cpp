@@ -169,8 +169,8 @@ void stable_sort_index(ThreadPool& pool, std::span<const std::uint32_t> keys,
   counting_sort_index(pool, low, 1u << 16, order1);
   parallel_for(pool, n,
                [&](std::size_t i) { high_sorted[i] = keys[order1[i]] >> 16; });
-  const std::uint32_t high_bound =
-      std::min<std::uint64_t>(1u << 16, ((std::uint64_t)key_bound >> 16) + 1);
+  const auto high_bound = static_cast<std::uint32_t>(
+      std::min<std::uint64_t>(1u << 16, ((std::uint64_t)key_bound >> 16) + 1));
   counting_sort_index(pool, high_sorted, high_bound, order2);
   parallel_for(pool, n, [&](std::size_t i) { order[i] = order1[order2[i]]; });
 }

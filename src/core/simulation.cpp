@@ -14,6 +14,10 @@
 #include "physics/collision.h"
 #include "rng/samplers.h"
 
+#if defined(CMDSMC_AUDIT)
+#include "audit/auditor.h"
+#endif
+
 namespace cmdsmc::core {
 
 namespace {
@@ -301,6 +305,14 @@ template <class Real>
 void Simulation<Real>::step() {
   const bool observe = observer_ != nullptr && observer_->wants_step(step_);
   if (observe) begin_observed_step();
+  // Invariant audit: hooks run between the phase scopes (outside the
+  // timers, so audit cost never pollutes the Table A breakdown).  The
+  // cadence decision is latched once so a mid-step boundary cannot split
+  // the hook sequence.  Compiled out entirely without -DCMDSMC_AUDIT=1.
+#if defined(CMDSMC_AUDIT)
+  const bool audited = auditor_ != nullptr && auditor_->wants(step_);
+  if (audited) auditor_->begin_step(*this);
+#endif
   // With per-lane timing on, each phase scope attaches the timers as the
   // pool's lane-time sink; tp stays null (and the scopes cost nothing
   // extra) otherwise.
@@ -309,10 +321,16 @@ void Simulation<Real>::step() {
     cmdp::PhaseTimers::Scope t(timers_, phase_id_[kPhaseMove], tp);
     phase_move_and_boundaries();
   }
+#if defined(CMDSMC_AUDIT)
+  if (audited) auditor_->after_move(*this);
+#endif
   {
     cmdp::PhaseTimers::Scope t(timers_, phase_id_[kPhaseSort], tp);
     phase_sort();
   }
+#if defined(CMDSMC_AUDIT)
+  if (audited) auditor_->after_sort(*this);
+#endif
   {
     // Selection and collision are one fused pass (see
     // phase_select_and_collide); the select timer stays registered so the
@@ -320,10 +338,16 @@ void Simulation<Real>::step() {
     cmdp::PhaseTimers::Scope t(timers_, phase_id_[kPhaseCollide], tp);
     phase_select_and_collide();
   }
+#if defined(CMDSMC_AUDIT)
+  if (audited) auditor_->after_collide(*this);
+#endif
   if (sampling_) {
     cmdp::PhaseTimers::Scope t(timers_, phase_id_[kPhaseSample], tp);
     phase_sample();
   }
+#if defined(CMDSMC_AUDIT)
+  if (audited) auditor_->end_step(*this);
+#endif
   if (observe) emit_step_stats();
   ++step_;
 }
@@ -385,6 +409,17 @@ void Simulation<Real>::emit_step_stats() {
           : 0.0;
   s.cum_candidates = counters_.candidates;
   s.cum_collisions = counters_.collisions;
+  // Audit gauges (the struct is reused across steps, so clear when off).
+  s.audit_active = false;
+  s.audit_checks = 0;
+  s.audit_violations = 0;
+#if defined(CMDSMC_AUDIT)
+  if (auditor_ != nullptr) {
+    s.audit_active = true;
+    s.audit_checks = auditor_->counters().total_checks();
+    s.audit_violations = auditor_->counters().total_violations();
+  }
+#endif
   // Occupancy spread over open flow cells, from the sort plan's per-cell
   // counts (still valid: the collide phase reads but never rewrites them).
   std::uint32_t occ_min = 0xffffffffu;

@@ -39,6 +39,11 @@
 #include "physics/selection.h"
 #include "rng/rng.h"
 
+namespace cmdsmc::audit {
+template <class Real>
+class Auditor;
+}  // namespace cmdsmc::audit
+
 namespace cmdsmc::core {
 
 // Per-run cumulative counters.
@@ -157,6 +162,22 @@ class Simulation {
   // test.  The observer must outlive the simulation or be detached first.
   void set_step_observer(obs::StepObserver* observer);
   obs::StepObserver* step_observer() const { return observer_; }
+
+  // --- Invariant audit (audit/auditor.h) ---
+  // Attaches the in-situ auditor.  The step-loop hooks only exist in
+  // -DCMDSMC_AUDIT=1 builds (audit::kAuditCompiled) — attaching in any
+  // other build is a silent no-op, which the scenario runner turns into a
+  // config error instead.  The auditor must outlive the simulation or be
+  // detached first.
+  void set_auditor(audit::Auditor<Real>* auditor) { auditor_ = auditor; }
+  audit::Auditor<Real>* auditor() const { return auditor_; }
+
+  // Read-only views of the sort phase's per-pairing-cell tables and the
+  // executing shard plan, for the audit layer (valid after the first step;
+  // the collide phase reads but never rewrites them).
+  const std::vector<std::uint32_t>& sort_counts() const { return counts_; }
+  const std::vector<std::uint32_t>& sort_starts() const { return starts_; }
+  const cmdp::ShardPlan& shard_plan() const { return shard_plan_; }
 
   // --- Conservation diagnostics (flow + reservoir, double precision) ---
   // Total kinetic + rotational energy per unit mass: sum 0.5 (u^2 + r^2).
@@ -352,6 +373,11 @@ class Simulation {
   SimCounters counters_;
   cmdp::PhaseTimers timers_;
   std::array<std::size_t, kPhaseCount> phase_id_{};
+
+  // In-situ invariant auditor (hooks compiled only under CMDSMC_AUDIT;
+  // the member itself is unconditional so the class layout never depends
+  // on the macro).
+  audit::Auditor<Real>* auditor_ = nullptr;
 
   // Step observer state: the reusable stats record plus the step-start
   // snapshots the per-step deltas are differenced against.

@@ -56,6 +56,10 @@ void telemetry_json_line(const obs::StepStats& s, std::string& out) {
          ",\"shard\":{\"count\":%u,\"repartitions\":%" PRIu64
          ",\"imbalance\":%.4g,\"post_imbalance\":%.4g}",
          s.shards, s.repartitions, s.cost_imbalance, s.post_imbalance);
+  if (s.audit_active)
+    append(out, ",\"audit\":{\"checks\":%" PRIu64 ",\"violations\":%" PRIu64
+                "}",
+           s.audit_checks, s.audit_violations);
   out += ",\"phase_seconds\":{";
   for (int f = 0; f < 4; ++f) {
     double sec = s.phase_seconds[kFused[f].a];

@@ -88,6 +88,12 @@ struct StepStats {
   double cost_imbalance = 0.0;
   double post_imbalance = 0.0;
 
+  // --- Invariant audit (zeros unless an auditor is attached, which
+  // requires a -DCMDSMC_AUDIT=1 build + audit=1 at runtime) ---
+  bool audit_active = false;
+  std::uint64_t audit_checks = 0;      // cumulative checks up to this step
+  std::uint64_t audit_violations = 0;  // cumulative violations (0 = healthy)
+
   // --- Timing ---
   // Control-thread wall seconds per phase slot, this step only.
   std::array<double, kPhases> phase_seconds{};

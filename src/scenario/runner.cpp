@@ -8,6 +8,8 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "audit/auditor.h"
+#include "cli/args.h"
 #include "core/steady.h"
 #include "io/contour.h"
 #include "obs/telemetry.h"
@@ -109,12 +111,12 @@ void ConsoleReportSink::write(const RunResult& r) {
   std::ostringstream buf;
   char line[256];
 
+  char zdim[16] = "";
+  if (r.config.is3d()) std::snprintf(zdim, sizeof zdim, "x%d", r.config.nz);
   std::snprintf(line, sizeof line,
                 "%s: %s precision, grid %dx%d%s%s, Mach %.2f, lambda_inf %g\n",
                 r.scenario.c_str(), precision_name(r.precision), r.config.nx,
-                r.config.ny,
-                r.config.is3d() ? ("x" + std::to_string(r.config.nz)).c_str()
-                                : "",
+                r.config.ny, zdim,
                 r.config.axisymmetric ? " axisymmetric (z-r)" : "",
                 r.config.mach, r.config.lambda_inf);
   buf << line;
@@ -285,7 +287,10 @@ std::string JsonSummarySink::to_json(const RunResult& r) {
      << ", \"repartitions\": " << r.repartitions
      << ", \"imbalance\": " << r.imbalance
      << ", \"post_repartition_imbalance\": "
-     << r.post_repartition_imbalance << "}";
+     << r.post_repartition_imbalance << "},\n";
+  os << "  \"audit\": {\"enabled\": " << (r.audit_enabled ? "true" : "false")
+     << ", \"checks\": " << r.audit_checks
+     << ", \"violations\": " << r.audit_violations << "}";
   if (r.surface) {
     os << ",\n  \"surface\": {\"cd\": " << r.surface->cd
        << ", \"cl\": " << r.surface->cl << ", \"cp_max\": " << r.cp_max()
@@ -392,6 +397,21 @@ RunResult Runner::run_impl(cmdp::ThreadPool* pool) {
     sim.set_step_observer(telemetry.get());
   }
 
+  // Invariant audit: attach the in-situ auditor.  Usage error (exit 2), not
+  // a silent no-op, when the build compiled the step-loop hooks out.
+  std::unique_ptr<audit::Auditor<Real>> auditor;
+  if (spec_.audit) {
+    if (!audit::kAuditCompiled)
+      throw cli::ArgError(
+          "audit=1 requires an audit-enabled build (configure with "
+          "-DCMDSMC_AUDIT=ON)");
+    audit::AuditOptions aopt;
+    aopt.every = spec_.audit_every;
+    aopt.tol = spec_.audit_tol;
+    auditor = std::make_unique<audit::Auditor<Real>>(aopt);
+    sim.set_auditor(auditor.get());
+  }
+
   // Warmup: fixed length, or adaptive via windowed means of the flow
   // population and flow energy (both must settle).
   if (spec_.schedule.auto_steady) {
@@ -448,6 +468,13 @@ RunResult Runner::run_impl(cmdp::ThreadPool* pool) {
         result.total_seconds * 1e6 /
         (static_cast<double>(result.total_steps) *
          static_cast<double>(result.total_count));
+
+  if (auditor) {
+    result.audit_enabled = true;
+    result.audit_checks = auditor->counters().total_checks();
+    result.audit_violations = auditor->counters().total_violations();
+    sim.set_auditor(nullptr);
+  }
 
   if (telemetry) {
     sim.set_step_observer(nullptr);

@@ -66,6 +66,13 @@ struct RunResult {
   double imbalance = 0.0;
   double post_repartition_imbalance = 0.0;
 
+  // Invariant audit summary (audit=1 runs only; zeros otherwise).  A
+  // completed fatal-mode run always reads violations == 0 — the first
+  // violation would have thrown before the result was built.
+  bool audit_enabled = false;
+  std::uint64_t audit_checks = 0;
+  std::uint64_t audit_violations = 0;
+
   // Peak pressure coefficient over non-embedded segments (0 if no surface).
   double cp_max() const;
   // Same over one body's stats (shared by the per-body JSON/report output).

@@ -379,6 +379,24 @@ const std::vector<OverrideEntry>& override_table() {
        [](ScenarioSpec& s, const std::string& k, const std::string& v) {
          s.progress = cli::parse_bool(k, v);
        }},
+      // --- Invariant audit ---
+      {"audit", "in-situ invariant audit (needs a -DCMDSMC_AUDIT=ON build); "
+                "violations abort the run",
+       [](ScenarioSpec& s, const std::string& k, const std::string& v) {
+         s.audit = cli::parse_bool(k, v);
+       }},
+      {"audit_every", "audit cadence (check every Nth step)",
+       [](ScenarioSpec& s, const std::string& k, const std::string& v) {
+         const int n = cli::parse_int(k, v);
+         if (n < 1) throw cli::ArgError(k + ": must be >= 1");
+         s.audit_every = n;
+       }},
+      {"audit_tol", "relative tolerance for the audit conservation checks",
+       [](ScenarioSpec& s, const std::string& k, const std::string& v) {
+         const double t = cli::parse_double(k, v);
+         if (!(t > 0.0)) throw cli::ArgError(k + ": must be > 0");
+         s.audit_tol = t;
+       }},
   };
   return table;
 }

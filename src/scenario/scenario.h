@@ -102,6 +102,12 @@ struct ScenarioSpec {
   int telemetry_every = 1;  // record every Nth step
   bool progress = false;    // stderr heartbeat
 
+  // --- Invariant audit (audit/auditor.h; needs a -DCMDSMC_AUDIT=ON build,
+  // the Runner rejects audit=1 on a build without the hooks) ---
+  bool audit = false;       // attach the in-situ invariant auditor
+  int audit_every = 1;      // audit every Nth step
+  double audit_tol = 1e-9;  // relative tolerance for conservation checks
+
   // Final SimConfig: derives the diffuse-wall sigma from the temperature
   // ratio, constructs the body, and validates.  Throws std::invalid_argument
   // on inconsistent parameters.

@@ -98,7 +98,8 @@ TEST(Axisymmetric, FreeStreamStaysUniformInRadius) {
     band[iy] /= cfg.nx;
   }
   const double mean =
-      std::accumulate(band.begin(), band.end(), 0.0) / band.size();
+      std::accumulate(band.begin(), band.end(), 0.0) /
+      static_cast<double>(band.size());
   EXPECT_GT(mean, 0.9);
   EXPECT_LT(mean, 1.05);
   for (int iy = 0; iy < cfg.ny; ++iy)

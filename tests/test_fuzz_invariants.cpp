@@ -4,10 +4,15 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <string>
+#include <vector>
 
+#include "cli/args.h"
 #include "core/simulation.h"
+#include "fleet/sweep.h"
 #include "geom/boundary.h"
 #include "rng/rng.h"
+#include "scenario/scenario.h"
 
 namespace core = cmdsmc::core;
 namespace cmdp = cmdsmc::cmdp;
@@ -131,8 +136,9 @@ TEST_P(SimulationFuzz, ShortRunUpholdsInvariants) {
       ASSERT_GE(s.z[i], 0.0);
       ASSERT_LT(s.z[i], static_cast<double>(c.nz));
     }
-    if (sim.wedge() != nullptr)
+    if (sim.wedge() != nullptr) {
       ASSERT_FALSE(sim.wedge()->inside(s.x[i], s.y[i]));
+    }
   }
   const auto f = sim.field();
   for (double d : f.density) ASSERT_TRUE(std::isfinite(d));
@@ -333,6 +339,191 @@ TEST(SimulationFuzz, AxisymmetricShortRunsUpholdCoreInvariants) {
     }
     EXPECT_TRUE(std::isfinite(sim.total_energy()));
     for (double d : sim.field().density) ASSERT_TRUE(std::isfinite(d));
+  }
+}
+
+// --- CLI argument parser fuzz -------------------------------------------
+//
+// The cli/args contract: any malformed input raises cli::ArgError (never a
+// crash, never a silent no-op, never an uncaught std:: exception from deep
+// inside), and error_exit_code classifies it as the usage exit (2).
+
+namespace {
+
+// Deterministic junk-string generator over a charset dense in the parser's
+// special characters so separators land in every position.
+std::string fuzz_token(cmdsmc::rng::SplitMix64& g, std::size_t max_len) {
+  static constexpr char kChars[] =
+      "=.,:/-+_ 0123456789abcdefghijklmnopqrstuvwxyzeE\t\"'\\";
+  const std::size_t len =
+      g.next_below(static_cast<std::uint32_t>(max_len + 1));
+  std::string s;
+  s.reserve(len);
+  for (std::size_t i = 0; i < len; ++i)
+    s += kChars[g.next_below(sizeof(kChars) - 1)];
+  return s;
+}
+
+// Runs `fn` and asserts the cli failure contract: success, or ArgError /
+// std::invalid_argument classified as exit 2.  Anything else is a bug.
+template <class Fn>
+void expect_usage_contract(const std::string& what, Fn&& fn) {
+  try {
+    fn();
+  } catch (const cmdsmc::cli::ArgError& e) {
+    EXPECT_EQ(cmdsmc::cli::error_exit_code(e), 2) << what;
+  } catch (const std::invalid_argument& e) {
+    EXPECT_EQ(cmdsmc::cli::error_exit_code(e), 2) << what;
+  } catch (const std::exception& e) {
+    FAIL() << what << ": unexpected exception type: " << e.what();
+  }
+}
+
+}  // namespace
+
+TEST(CliFuzz, KeyValueParserUpholdsTheUsageContract) {
+  namespace cli = cmdsmc::cli;
+  cmdsmc::rng::SplitMix64 g(0xA56u);
+  for (int trial = 0; trial < 20000; ++trial) {
+    const std::string tok = fuzz_token(g, 24);
+    expect_usage_contract(tok, [&] {
+      const auto kvs = cli::parse_key_values(std::vector<std::string>{tok});
+      // On success the parse must be lossless: key '=' value == token.
+      ASSERT_EQ(kvs.size(), 1u);
+      EXPECT_EQ(kvs[0].key + "=" + kvs[0].value, tok);
+      EXPECT_FALSE(kvs[0].key.empty());
+    });
+  }
+}
+
+TEST(CliFuzz, ScalarParsersNeverTruncateOrCrash) {
+  namespace cli = cmdsmc::cli;
+  cmdsmc::rng::SplitMix64 g(0x5CA1A8u);
+  for (int trial = 0; trial < 20000; ++trial) {
+    const std::string v = fuzz_token(g, 12);
+    expect_usage_contract(v, [&] {
+      const int n = cli::parse_int("k", v);
+      // Strict contract: success means the whole token was consumed, so
+      // re-parsing as double must agree exactly (no atoi truncation).
+      EXPECT_EQ(static_cast<double>(n), cli::parse_double("k", v));
+    });
+    expect_usage_contract(v, [&] { (void)cli::parse_double("k", v); });
+    expect_usage_contract(v, [&] { (void)cli::parse_uint64("k", v); });
+    expect_usage_contract(v, [&] { (void)cli::parse_bool("k", v); });
+  }
+  // The historical truncation bugs, pinned explicitly.
+  EXPECT_THROW((void)cli::parse_int("facets", "36.9"), cli::ArgError);
+  EXPECT_THROW((void)cli::parse_int("nx", "12abc"), cli::ArgError);
+  EXPECT_THROW((void)cli::parse_double("mach", ""), cli::ArgError);
+  EXPECT_THROW((void)cli::parse_double("mach", "1.5x"), cli::ArgError);
+  EXPECT_THROW((void)cli::parse_bool("audit", "maybe"), cli::ArgError);
+}
+
+TEST(CliFuzz, ScenarioOverridesNeverCrash) {
+  namespace cli = cmdsmc::cli;
+  namespace scenario = cmdsmc::scenario;
+  const auto& keys = scenario::override_keys();
+  ASSERT_FALSE(keys.empty());
+  cmdsmc::rng::SplitMix64 g(0xBEEFu);
+  for (int trial = 0; trial < 4000; ++trial) {
+    scenario::ScenarioSpec spec = scenario::get_scenario("wedge-mach4");
+    // Half the trials aim a junk value at a real key; half use a junk key.
+    const std::string key = (trial % 2 == 0)
+                                ? keys[g.next_below(
+                                      static_cast<std::uint32_t>(keys.size()))]
+                                : fuzz_token(g, 10);
+    const std::string value = fuzz_token(g, 10);
+    expect_usage_contract(key + "=" + value, [&] {
+      scenario::apply_override(spec, key, value);
+      // An accepted override must still build a validatable config or
+      // classify as a config error — never crash.
+      try {
+        (void)spec.build_config();
+      } catch (const std::invalid_argument&) {
+      }
+    });
+  }
+}
+
+// --- Fleet sweep grammar fuzz ------------------------------------------
+
+TEST(SweepFuzz, GrammarEdgeCasesClassifyAsUsage) {
+  namespace cli = cmdsmc::cli;
+  namespace fleet = cmdsmc::fleet;
+  // Every one of these malformed tokens must raise ArgError (exit 2).
+  const char* bad[] = {
+      "sweep:",                    // no key, no values
+      "sweep:=4",                  // empty key
+      "sweep:mach",                // no '='
+      "sweep:mach=",               // empty value list
+      "sweep:mach=4,,8",           // empty list entry
+      "sweep:mach=,",              // only separators
+      "sweep:mach=1..4",           // range without point count
+      "sweep:mach=1..4/0",         // N = 0
+      "sweep:mach=1..4/1",         // N = 1 (needs two endpoints)
+      "sweep:mach=1..4/-3",        // negative count
+      "sweep:mach=1..4/9999999",   // beyond the range-point cap
+      "sweep:mach=1../4",          // empty hi bound
+      "sweep:mach=..4/4",          // empty lo bound
+      "sweep:mach=a..b/4",         // non-numeric bounds
+      "sweep:mach=1..4/x",         // non-numeric count
+  };
+  for (const char* tok : bad) {
+    EXPECT_THROW((void)fleet::parse_sweep_axis(tok), cli::ArgError) << tok;
+    try {
+      (void)fleet::parse_sweep_axis(tok);
+    } catch (const std::exception& e) {
+      EXPECT_EQ(cli::error_exit_code(e), 2) << tok;
+    }
+  }
+
+  // Legal edges: reversed bounds sweep downward; N=2 is the minimal range.
+  const auto down = fleet::parse_sweep_axis("sweep:mach=8..2/4");
+  ASSERT_EQ(down.values.size(), 4u);
+  EXPECT_EQ(down.values.front(), "8");
+  EXPECT_EQ(down.values.back(), "2");
+  const auto two = fleet::parse_sweep_axis("sweep:lambda=0.1..1/2");
+  ASSERT_EQ(two.values.size(), 2u);
+  // A single-value list is a legal one-point axis.
+  EXPECT_EQ(fleet::parse_sweep_axis("sweep:seed=7").values.size(), 1u);
+}
+
+TEST(SweepFuzz, HugeCrossProductsAreRejectedNotExpanded) {
+  namespace cli = cmdsmc::cli;
+  namespace fleet = cmdsmc::fleet;
+  fleet::SweepRequest req;
+  req.scenario = "wedge-mach4";
+  for (const char* tok :
+       {"sweep:mach=1..10/100", "sweep:lambda=0.01..1/100",
+        "sweep:sigma=0.05..0.2/11"})
+    req.axes.push_back(fleet::parse_sweep_axis(tok));
+  // 100 * 100 * 11 jobs would blow the fleet cap: the request must refuse
+  // to expand (ArgError, exit 2), not allocate 110000 job descriptors.
+  EXPECT_THROW((void)req.job_count(), cli::ArgError);
+  try {
+    (void)req.job_count();
+  } catch (const std::exception& e) {
+    EXPECT_EQ(cli::error_exit_code(e), 2);
+  }
+  // An axis with zero values short-circuits to an empty sweep.
+  fleet::SweepRequest empty;
+  empty.axes.push_back({"mach", {}});
+  EXPECT_EQ(empty.job_count(), 0u);
+}
+
+TEST(SweepFuzz, RandomSweepTokensNeverCrash) {
+  namespace fleet = cmdsmc::fleet;
+  cmdsmc::rng::SplitMix64 g(0x5EEDu);
+  for (int trial = 0; trial < 20000; ++trial) {
+    const std::string tok = "sweep:" + fuzz_token(g, 20);
+    ASSERT_TRUE(fleet::is_sweep_token(tok));
+    expect_usage_contract(tok, [&] {
+      const auto axis = fleet::parse_sweep_axis(tok);
+      // Success implies a well-formed axis: named key, non-empty values.
+      EXPECT_FALSE(axis.key.empty());
+      EXPECT_FALSE(axis.values.empty());
+      for (const std::string& v : axis.values) EXPECT_FALSE(v.empty());
+    });
   }
 }
 

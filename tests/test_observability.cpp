@@ -184,7 +184,7 @@ TEST(StepStats, LaneSecondsSingleThreadEqualsAggregate) {
 
   for (const auto& s : rec.steps) {
     ASSERT_EQ(s.lanes, 1u);
-    for (std::size_t p = 0; p < obs::StepStats::kPhases; ++p) {
+    for (int p = 0; p < obs::StepStats::kPhases; ++p) {
       // With one lane the timer credits lane 0 with the full aggregate.
       EXPECT_DOUBLE_EQ(s.lane_second(p, 0), s.phase_seconds[p])
           << obs::StepStats::phase_name(p);
@@ -202,7 +202,7 @@ TEST(StepStats, LaneSecondsMultiThreadBoundedByAggregate) {
 
   for (const auto& s : rec.steps) {
     ASSERT_EQ(s.lanes, 4u);
-    for (std::size_t p = 0; p < obs::StepStats::kPhases; ++p) {
+    for (int p = 0; p < obs::StepStats::kPhases; ++p) {
       double lane_sum = 0.0, lane_max = 0.0;
       for (unsigned t = 0; t < s.lanes; ++t) {
         const double v = s.lane_second(p, t);
@@ -219,7 +219,9 @@ TEST(StepStats, LaneSecondsMultiThreadBoundedByAggregate) {
       // A lane cannot be busy longer than the phase's wall time (slack for
       // clock resolution).
       EXPECT_LE(lane_max, s.phase_seconds[p] + 1e-3);
-      if (lane_sum > 0.0) EXPECT_GT(s.imbalance[p], 0.0);
+      if (lane_sum > 0.0) {
+        EXPECT_GT(s.imbalance[p], 0.0);
+      }
     }
   }
 }

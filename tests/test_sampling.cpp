@@ -18,7 +18,8 @@ core::ParticleStore<double> uniform_gas(const geom::Grid& grid, double ppc,
                                         double sigma, double drift,
                                         std::uint64_t seed) {
   core::ParticleStore<double> s;
-  const auto n = static_cast<std::size_t>(ppc * grid.ncells());
+  const auto n =
+      static_cast<std::size_t>(ppc * static_cast<double>(grid.ncells()));
   s.resize(n);
   cmdsmc::rng::SplitMix64 g(seed);
   for (std::size_t i = 0; i < n; ++i) {

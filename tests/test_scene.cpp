@@ -224,8 +224,9 @@ TEST(SceneTieBreak, SurfaceRidingParticleCannotTunnel) {
     ASSERT_TRUE(geom::enforce_boundaries(p, bc, 1234));
     // At worst the particle grazes the surface afterwards; it must never
     // remain buried in the solid.
-    if (const auto hit = w.nearest_face(p.x, p.y))
+    if (const auto hit = w.nearest_face(p.x, p.y)) {
       EXPECT_GT(hit->depth, -1e-9) << x << " -> " << p.x << "," << p.y;
+    }
   }
   // A particle dropped exactly on the cylinder's topmost vertex moving
   // straight down must reflect off the surface, not pass into the solid.

@@ -74,7 +74,8 @@ TEST(Simulation, ConstructsWithExpectedPopulation) {
       static_cast<std::size_t>(std::llround(cfg.particles_per_cell * open));
   EXPECT_EQ(sim.flow_count(), expect_flow);
   EXPECT_EQ(sim.reservoir_count(),
-            static_cast<std::size_t>(std::llround(0.10 * expect_flow)));
+            static_cast<std::size_t>(
+                std::llround(0.10 * static_cast<double>(expect_flow))));
   EXPECT_EQ(sim.total_count(), sim.flow_count() + sim.reservoir_count());
   EXPECT_EQ(sim.step_index(), 0);
 }

@@ -30,7 +30,9 @@ TEST(Compact, KeepsFlaggedIndicesInOrder) {
   ASSERT_EQ(idx.size(), expect);
   for (std::size_t k = 0; k < idx.size(); ++k) {
     ASSERT_TRUE(keep[idx[k]]);
-    if (k > 0) ASSERT_LT(idx[k - 1], idx[k]);
+    if (k > 0) {
+      ASSERT_LT(idx[k - 1], idx[k]);
+    }
   }
 }
 
